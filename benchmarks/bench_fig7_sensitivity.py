@@ -1,0 +1,83 @@
+"""Figure 7: parameter sensitivity of the overall loss.
+
+The paper sweeps walk length T, sampling ratio r and the self-paced
+threshold lambda, reporting (a) overall loss J, (b) generator loss J_G
+and (c) discriminator loss J_P + J_L + J_F + J_S.
+
+Shapes to reproduce: the loss surface is smooth in (T, r); the generator
+term dominates the total (its output space is O(n^2) vs O(n) for the
+discriminator); and the overall loss falls as -lambda approaches 1 (only
+confident nodes propagate) but rises when -lambda is near 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_fairgen_config, format_table
+from repro.core import FairGen
+from repro.data import load_dataset
+
+DATASET = "BLOG"
+WALK_LENGTHS = [6, 10, 14]
+RATIOS = [0.0, 0.5, 1.0]
+LAMBDAS = [0.2, 0.5, 1.0, 2.0]
+
+
+def _fit_once(walk_length: int, ratio: float, lambda_init: float):
+    data = load_dataset(DATASET)
+    cfg = bench_fairgen_config().variant(
+        walk_length=walk_length, sampling_ratio=ratio,
+        lambda_init=lambda_init, self_paced_cycles=2,
+        walks_per_cycle=32, generator_steps_per_cycle=2)
+    rng = np.random.default_rng(21)
+    nodes, classes = data.labeled_few_shot(3, rng)
+    model = FairGen(cfg)
+    model.fit(data.graph, rng, labeled_nodes=nodes,
+              labeled_classes=classes, protected_mask=data.protected_mask)
+    last = model.history[-1]
+    gen = last["generator_loss"]
+    disc = last["disc_total"]
+    return {"generator": gen, "discriminator": disc, "total": gen + disc}
+
+
+def _sweep_t_r():
+    grid = {}
+    for t in WALK_LENGTHS:
+        for r in RATIOS:
+            grid[(t, r)] = _fit_once(t, r, 0.5)
+    return grid
+
+
+def _sweep_lambda():
+    return {lam: _fit_once(10, 0.5, lam) for lam in LAMBDAS}
+
+
+def test_fig7a_loss_vs_walklength_and_ratio(benchmark):
+    grid = benchmark.pedantic(_sweep_t_r, rounds=1, iterations=1)
+    rows = [[f"T={t}, r={r}", f"{v['total']:.2f}", f"{v['generator']:.2f}",
+             f"{v['discriminator']:.2f}"]
+            for (t, r), v in sorted(grid.items())]
+    print("\n\nFigure 7(a-c) — losses vs walk length T and sampling ratio r")
+    print(format_table(["setting", "J (total)", "J_G", "J_disc"], rows))
+
+    # Shape 1: the generator term dominates the overall loss everywhere.
+    assert all(v["generator"] > v["discriminator"] for v in grid.values())
+    # Shape 2: generator loss grows with walk length (longer sequences
+    # accumulate more per-step NLL).
+    for r in RATIOS:
+        assert grid[(WALK_LENGTHS[-1], r)]["generator"] > \
+            grid[(WALK_LENGTHS[0], r)]["generator"]
+    # Shape 3: smoothness in r — no setting explodes vs its row mean.
+    for t in WALK_LENGTHS:
+        totals = [grid[(t, r)]["total"] for r in RATIOS]
+        assert max(totals) < 2.0 * (sum(totals) / len(totals))
+
+
+def test_fig7d_loss_vs_lambda(benchmark):
+    sweep = benchmark.pedantic(_sweep_lambda, rounds=1, iterations=1)
+    rows = [[f"lambda={lam}", f"{v['total']:.2f}", f"{v['discriminator']:.2f}"]
+            for lam, v in sorted(sweep.items())]
+    print("\n\nFigure 7(d) — overall loss vs self-paced threshold lambda")
+    print(format_table(["setting", "J (total)", "J_disc"], rows))
+    assert all(np.isfinite(v["total"]) for v in sweep.values())

@@ -1,0 +1,71 @@
+"""Figure 8: scalability — FairGen runtime vs graph size and density.
+
+The paper times FairGen on ER graphs, growing (a) the node count at fixed
+density 0.005 and (b) the edge density at 5000 nodes, observing
+near-linear growth in both.  We reproduce the sweep at CPU scale
+(120-480 nodes, density 0.01-0.04) and assert sub-quadratic growth.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import bench_fairgen_config, format_table, surrogate_supervision
+from repro.core import FairGen
+from repro.graph import erdos_renyi
+
+NODE_SWEEP = [120, 240, 480]
+DENSITY_SWEEP = [0.01, 0.02, 0.04]
+FIXED_DENSITY = 0.02
+FIXED_NODES = 240
+
+
+def _time_fairgen(num_nodes: int, density: float) -> float:
+    rng = np.random.default_rng(31)
+    graph = erdos_renyi(num_nodes, density, rng)
+    labels, protected, num_classes = surrogate_supervision(graph)
+    nodes = np.concatenate([np.flatnonzero(labels == c)[:3]
+                            for c in range(num_classes)])
+    cfg = bench_fairgen_config().variant(
+        self_paced_cycles=2, walks_per_cycle=32,
+        generator_steps_per_cycle=2, generation_walk_factor=6)
+    model = FairGen(cfg)
+    start = time.perf_counter()
+    model.fit(graph, rng, labeled_nodes=nodes,
+              labeled_classes=labels[nodes], protected_mask=protected,
+              num_classes=num_classes)
+    model.generate(rng)
+    return time.perf_counter() - start
+
+
+def _sweep_nodes():
+    return {n: _time_fairgen(n, FIXED_DENSITY) for n in NODE_SWEEP}
+
+
+def _sweep_density():
+    return {d: _time_fairgen(FIXED_NODES, d) for d in DENSITY_SWEEP}
+
+
+def test_fig8a_runtime_vs_nodes(benchmark):
+    times = benchmark.pedantic(_sweep_nodes, rounds=1, iterations=1)
+    rows = [[f"n={n} (density {FIXED_DENSITY})", f"{t:.2f}s"]
+            for n, t in times.items()]
+    print("\n\nFigure 8(a) — FairGen runtime vs number of nodes")
+    print(format_table(["setting", "runtime"], rows))
+    # Near-linear shape: quadrupling n must cost far less than 16x.
+    ratio = times[NODE_SWEEP[-1]] / times[NODE_SWEEP[0]]
+    size_ratio = NODE_SWEEP[-1] / NODE_SWEEP[0]
+    assert ratio < size_ratio ** 2
+
+
+def test_fig8b_runtime_vs_density(benchmark):
+    times = benchmark.pedantic(_sweep_density, rounds=1, iterations=1)
+    rows = [[f"density={d} (n {FIXED_NODES})", f"{t:.2f}s"]
+            for d, t in times.items()]
+    print("\n\nFigure 8(b) — FairGen runtime vs edge density")
+    print(format_table(["setting", "runtime"], rows))
+    ratio = times[DENSITY_SWEEP[-1]] / times[DENSITY_SWEEP[0]]
+    density_ratio = DENSITY_SWEEP[-1] / DENSITY_SWEEP[0]
+    assert ratio < density_ratio ** 2

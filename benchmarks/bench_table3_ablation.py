@@ -1,0 +1,62 @@
+"""Table III: ablation of the context-sampling strategy f_S.
+
+"Negative Sampling" replaces f_S with node2vec's degree-biased sampling
+(no label guidance), i.e. the FairGen-R variant.  Paper shape: full
+FairGen attains a smaller protected-group discrepancy R+ than the
+negative-sampling variant on (most of) the nine metrics for BLOG, ACM
+and FLICKR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import format_table, fmt_val, get_run
+from repro.data import labeled_dataset_names, load_dataset
+from repro.eval import mean_discrepancy, protected_discrepancy
+from repro.graph.metrics import METRIC_NAMES
+
+ASPL_SAMPLE = 120
+
+PAPER_TABLE3_MEANS = {
+    # mean over the paper's nine reported R+ values per row
+    "BLOG": {"Negative Sampling": 0.1801, "FairGen": 0.0934},
+    "ACM": {"Negative Sampling": 0.1715, "FairGen": 0.1010},
+    "FLICKR": {"Negative Sampling": 0.1519, "FairGen": 0.0683},
+}
+
+
+def _rows(dataset_name: str):
+    data = load_dataset(dataset_name)
+    out = {}
+    for label, model_name in (("Negative Sampling", "FairGen-R"),
+                              ("FairGen", "FairGen")):
+        run = get_run(model_name, dataset_name)
+        out[label] = protected_discrepancy(
+            data.graph, run.generated, data.protected_mask,
+            aspl_sample=ASPL_SAMPLE, rng=np.random.default_rng(0))
+    return out
+
+
+@pytest.mark.parametrize("dataset_name", labeled_dataset_names())
+def test_table3_sampling_ablation(benchmark, dataset_name):
+    results = benchmark.pedantic(_rows, args=(dataset_name,), rounds=1,
+                                 iterations=1)
+    rows = []
+    for label in ("Negative Sampling", "FairGen"):
+        values = results[label]
+        rows.append([f"{label} ({dataset_name})"]
+                    + [fmt_val(values[m]) for m in METRIC_NAMES]
+                    + [fmt_val(mean_discrepancy(values)),
+                       fmt_val(PAPER_TABLE3_MEANS[dataset_name][label])])
+    print(f"\n\nTable III — sampling-strategy ablation, R+ on "
+          f"{dataset_name} (lower is better)")
+    print(format_table(["method", *METRIC_NAMES, "mean(ours)",
+                        "mean(paper)"], rows))
+
+    ours = {k: mean_discrepancy(v) for k, v in results.items()}
+    assert all(np.isfinite(v) for v in ours.values())
+    # Shape: label-informed f_S should not lose badly to plain negative
+    # sampling on protected-group preservation.
+    assert ours["FairGen"] < ours["Negative Sampling"] * 1.75

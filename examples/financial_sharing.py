@@ -1,0 +1,80 @@
+"""Privacy-preserving data sharing for a financial transaction network.
+
+The paper's motivating scenario (Section I): a financial institute wants
+to share its transaction network with partners, but releasing the real
+graph leaks user identities.  A graph generative model provides synthetic
+data instead — and because fraudulent accounts are a tiny minority, a
+fairness-unaware generator would wash them out, making the shared data
+useless for fraud analytics.
+
+This example builds a synthetic transaction network with a small
+red-flagged community, shares a FairGen graph, and verifies that
+
+1. the released graph leaks only a bounded fraction of real edges,
+2. the flagged community's structure survives in the released graph,
+   while a frequency-driven baseline (TagGen) degrades it more.
+
+Run with:  python examples/financial_sharing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FairGen, FairGenConfig
+from repro.eval import mean_discrepancy, protected_discrepancy
+from repro.graph import planted_protected_graph
+from repro.models import TagGen
+
+
+def edge_overlap(original, released) -> float:
+    """Fraction of released edges that exist in the original graph."""
+    inter = released.adjacency.multiply(original.adjacency)
+    return inter.nnz / max(released.adjacency.nnz, 1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A transaction network: 5 normal account communities plus a small,
+    # tightly-knit ring of flagged (fraudulent) accounts.
+    graph, labels, flagged = planted_protected_graph(
+        350, 25, rng, p_in=0.08, p_out=0.003, num_classes=5,
+        protected_as_class=True)
+    print(f"transaction network: {graph.num_nodes} accounts, "
+          f"{graph.num_edges} transactions, {int(flagged.sum())} flagged")
+
+    # Domain experts red-flag a handful of accounts per class.
+    few_nodes, few_classes = [], []
+    for cls in range(int(labels.max()) + 1):
+        members = np.flatnonzero(labels == cls)[:3]
+        few_nodes.extend(members.tolist())
+        few_classes.extend([cls] * members.size)
+    few_nodes = np.array(few_nodes)
+    few_classes = np.array(few_classes)
+
+    # Train FairGen and the unsupervised baseline.
+    config = FairGenConfig(self_paced_cycles=4, walks_per_cycle=96,
+                           generator_steps_per_cycle=80,
+                           batch_iterations=4, discriminator_lr=0.05)
+    fairgen = FairGen(config)
+    fairgen.fit(graph, rng, labeled_nodes=few_nodes,
+                labeled_classes=few_classes, protected_mask=flagged)
+    baseline = TagGen(epochs=25, walks_per_epoch=128, num_layers=1)
+    baseline.fit(graph, np.random.default_rng(8))
+
+    print("\nreleased graph              edge-overlap   flagged R+ (mean)")
+    for name, model in (("FairGen", fairgen), ("TagGen baseline", baseline)):
+        released = model.generate(np.random.default_rng(9))
+        overlap = edge_overlap(graph, released)
+        r_plus = mean_discrepancy(protected_discrepancy(
+            graph, released, flagged, aspl_sample=120))
+        print(f"{name:<26}  {overlap:>10.2%}   {r_plus:>8.4f}")
+
+    print("\nLower flagged-community discrepancy means the shared data "
+          "remains useful\nfor fraud analytics; partial edge overlap means "
+          "individual transactions\ncannot be read off the released graph.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""FairGen reproduction: fairness-aware graph generation (ICDE 2024).
+
+Public API overview
+-------------------
+``repro.core``      — the FairGen model (:class:`~repro.core.FairGen`),
+                      its configuration and ablation factory.
+``repro.models``    — baselines: ER, BA, GAE, NetGAN, TagGen.
+``repro.graph``     — graph substrate: :class:`~repro.graph.Graph`, walks,
+                      diffusion cores, the nine Table II metrics.
+``repro.embedding`` — node2vec, SGNS, t-SNE, separability scores.
+``repro.data``      — the seven benchmark datasets (synthetic stand-ins).
+``repro.eval``      — discrepancy (Eqs. 15/16), classification,
+                      data augmentation.
+``repro.nn``        — the NumPy autograd substrate everything trains on.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import FairGen, FairGenConfig
+    from repro.data import load_dataset
+
+    data = load_dataset("BLOG")
+    rng = np.random.default_rng(0)
+    nodes, classes = data.labeled_few_shot(3, rng)
+    model = FairGen(FairGenConfig(self_paced_cycles=2))
+    model.fit(data.graph, rng, labeled_nodes=nodes, labeled_classes=classes,
+              protected_mask=data.protected_mask)
+    synthetic = model.generate(rng)
+"""
+
+from . import core, data, embedding, eval, graph, models, nn, utils
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "data", "embedding", "eval", "graph", "models", "nn",
+           "utils", "__version__"]

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``   print Table I-style statistics of the bundled datasets
+``generate``   fit a model on a dataset and report generation quality
+``evaluate``   overall + protected discrepancy of a fitted model
+``augment``    run the Figure 6 data-augmentation study
+
+The CLI exists so the headline experiments can be driven without writing
+Python; every command is a thin wrapper over the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import FairGen, FairGenConfig, make_fairgen_variant
+from .data import dataset_names, dataset_statistics, load_dataset
+from .eval import (augmentation_study, mean_discrepancy,
+                   overall_discrepancy, protected_discrepancy)
+from .models import BAModel, ERModel, GAEModel, GraphRNN, NetGAN, TagGen
+from .utils import Timer, format_table
+
+__all__ = ["main", "build_parser"]
+
+_BASELINES = {
+    "er": ERModel,
+    "ba": BAModel,
+    "gae": GAEModel,
+    "netgan": NetGAN,
+    "taggen": TagGen,
+    "graphrnn": GraphRNN,
+}
+_FAIRGEN_VARIANTS = {
+    "fairgen": "full",
+    "fairgen-r": "no-sampling",
+    "fairgen-no-spl": "no-spl",
+    "fairgen-no-parity": "no-parity",
+}
+MODEL_CHOICES = sorted(_BASELINES) + sorted(_FAIRGEN_VARIANTS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FairGen reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print dataset statistics")
+
+    for name in ("generate", "evaluate"):
+        cmd = sub.add_parser(name, help=f"{name} a model on a dataset")
+        cmd.add_argument("--dataset", required=True,
+                         choices=dataset_names())
+        cmd.add_argument("--model", required=True, choices=MODEL_CHOICES)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--cycles", type=int, default=3,
+                         help="FairGen self-paced cycles")
+        cmd.add_argument("--generator-steps", type=int, default=40,
+                         help="FairGen generator steps per cycle")
+
+    aug = sub.add_parser("augment", help="Figure 6 augmentation study")
+    aug.add_argument("--dataset", required=True,
+                     choices=["BLOG", "FLICKR", "ACM"])
+    aug.add_argument("--model", required=True, choices=MODEL_CHOICES)
+    aug.add_argument("--seed", type=int, default=0)
+    aug.add_argument("--fraction", type=float, default=0.05)
+    aug.add_argument("--cycles", type=int, default=3)
+    aug.add_argument("--generator-steps", type=int, default=40)
+    return parser
+
+
+def _build_model(args):
+    if args.model in _BASELINES:
+        return _BASELINES[args.model]()
+    config = FairGenConfig(self_paced_cycles=args.cycles,
+                           generator_steps_per_cycle=args.generator_steps,
+                           batch_iterations=4, discriminator_lr=0.05)
+    return make_fairgen_variant(_FAIRGEN_VARIANTS[args.model], config)
+
+
+def _fit(model, data, rng) -> None:
+    if isinstance(model, FairGen):
+        if not data.has_labels:
+            raise SystemExit(f"{data.name} has no labels; FairGen variants "
+                             "need a labeled dataset (BLOG, FLICKR, ACM)")
+        nodes, classes = data.labeled_few_shot(3, rng)
+        model.fit(data.graph, rng, labeled_nodes=nodes,
+                  labeled_classes=classes,
+                  protected_mask=data.protected_mask)
+    else:
+        model.fit(data.graph, rng)
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for name in dataset_names():
+        stats = dataset_statistics(load_dataset(name))
+        rows.append([stats["name"], stats["nodes"], stats["edges"],
+                     stats["classes"] or "-", stats["protected"] or "-"])
+    print(format_table(["dataset", "nodes", "edges", "classes",
+                        "protected"], rows))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    data = load_dataset(args.dataset)
+    rng = np.random.default_rng(args.seed)
+    model = _build_model(args)
+    with Timer() as fit_time:
+        _fit(model, data, rng)
+    with Timer() as gen_time:
+        generated = model.generate(rng)
+    print(f"model={model.name} dataset={data.name}")
+    print(f"fit: {fit_time.seconds:.2f}s  generate: {gen_time.seconds:.2f}s")
+    print(f"original:  {data.graph}")
+    print(f"generated: {generated}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    data = load_dataset(args.dataset)
+    rng = np.random.default_rng(args.seed)
+    model = _build_model(args)
+    _fit(model, data, rng)
+    generated = model.generate(rng)
+    overall = overall_discrepancy(data.graph, generated, aspl_sample=120)
+    rows = [[name, f"{value:.4f}"] for name, value in overall.items()]
+    rows.append(["mean R", f"{mean_discrepancy(overall):.4f}"])
+    if data.protected_mask is not None:
+        prot = protected_discrepancy(data.graph, generated,
+                                     data.protected_mask, aspl_sample=120)
+        rows.append(["mean R+", f"{mean_discrepancy(prot):.4f}"])
+    print(format_table(["metric", "discrepancy"], rows))
+    return 0
+
+
+def _cmd_augment(args) -> int:
+    data = load_dataset(args.dataset)
+    rng = np.random.default_rng(args.seed)
+    model = _build_model(args)
+    _fit(model, data, rng)
+    result = augmentation_study(data.graph, data.labels, data.num_classes,
+                                model, rng, fraction=args.fraction)
+    print(f"baseline accuracy:  {result.baseline_accuracy:.4f} "
+          f"(+/- {result.baseline_std:.4f})")
+    print(f"augmented accuracy: {result.augmented_accuracy:.4f} "
+          f"(+/- {result.augmented_std:.4f})")
+    print(f"relative gain:      {result.improvement:+.2%}")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "evaluate": _cmd_evaluate,
+    "augment": _cmd_augment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""FairGen core: the paper's primary contribution."""
+
+from .config import FairGenConfig
+from .context_sampling import ContextSampler
+from .discriminator import FairDiscriminator
+from .fairness import (cost_sensitive_weights, group_class_means,
+                       parity_loss, statistical_parity_gap)
+from .self_paced import SelfPacedState
+from .fairgen import FairGen, make_fairgen_variant
+from .serialization import load_fairgen, save_fairgen
+
+__all__ = [
+    "FairGenConfig",
+    "ContextSampler",
+    "FairDiscriminator",
+    "cost_sensitive_weights", "group_class_means", "parity_loss",
+    "statistical_parity_gap",
+    "SelfPacedState",
+    "FairGen", "make_fairgen_variant",
+    "save_fairgen", "load_fairgen",
+]

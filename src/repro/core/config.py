@@ -1,0 +1,89 @@
+"""Configuration for the FairGen model (Algorithm 1 inputs).
+
+Defaults follow Section III-B: batch size ``N1 = 128``, batch iterations
+``T1 = 3``, walk length ``T = 10``, 4 transformer heads, learning rate
+0.01, and loss weights ``alpha = beta = gamma = 1``.  Embedding and model
+dimensions are scaled to CPU training (the paper used 100-d embeddings on
+a GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FairGenConfig"]
+
+
+@dataclass
+class FairGenConfig:
+    """Hyper-parameters of FairGen and its ablation switches."""
+
+    # -- random-walk context sampling (f_S) --
+    walk_length: int = 10          #: T, length of sampled walks
+    walks_per_cycle: int = 96      #: K, walks added to N+/N- per cycle
+    sampling_ratio: float = 0.5    #: r, P(general walk) vs label-guided
+    delta: float = 0.5             #: diffusion-core tolerance (Def. 1)
+    diffusion_steps: int = 5       #: t used when computing C_S
+
+    # -- self-paced learning (M3) --
+    # lambda admits a (node, class) pair when -log P(y=c|x) < lambda,
+    # i.e. P > exp(-lambda).  Starting at 0.5 requires ~60% confidence,
+    # well above the uniform baseline 1/C, so early cycles only accept
+    # genuinely easy nodes; growth then relaxes the bar each cycle.
+    self_paced_cycles: int = 4     #: p, outer loop count in Algorithm 1
+    lambda_init: float = 0.5       #: initial threshold for Eq. 14
+    lambda_growth: float = 1.4     #: multiplicative increase per cycle
+    #: per-class admission budget at cycle l is (l+1) * this cap; bounds
+    #: how fast pseudo labels can flood the curriculum
+    pseudo_label_cap: int = 15
+
+    # -- loss weights (Eq. 3) --
+    alpha: float = 1.0             #: weight of J_P (cost-sensitive loss)
+    beta: float = 1.0              #: weight of J_L (label propagation)
+    gamma: float = 1.0             #: weight of J_F (parity regularizer)
+
+    # -- generator g_theta (transformer) --
+    model_dim: int = 32
+    num_heads: int = 4             #: paper uses 4 heads
+    num_layers: int = 2
+    generator_lr: float = 0.01
+    generator_steps_per_cycle: int = 8
+    generator_batch: int = 32
+    negative_weight: float = 0.1   #: strength of the unlikelihood term
+    negative_margin: float = 2.0   #: margin below positives for negatives
+    pool_capacity: int = 512       #: max walks retained in N+ / N-
+
+    # -- discriminator d_omega (3-layer MLP) --
+    feature_dim: int = 32          #: node2vec feature dimensionality
+    hidden_dim: int = 32
+    discriminator_lr: float = 0.01
+    batch_iterations: int = 3      #: T1
+    batch_size: int = 128          #: N1
+
+    # -- generation / assembly --
+    generation_walk_factor: int = 20
+
+    # -- ablation switches (Section III-A variants) --
+    use_label_informed_sampling: bool = True   #: False -> FairGen-R
+    use_self_paced: bool = True                #: False -> FairGen-w/o-SPL
+    use_parity: bool = True                    #: False -> FairGen-w/o-Parity
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sampling_ratio <= 1.0:
+            raise ValueError("sampling_ratio r must be in [0, 1]")
+        if self.walk_length < 2:
+            raise ValueError("walk_length T must be >= 2")
+        if self.self_paced_cycles < 1:
+            raise ValueError("need at least one self-paced cycle")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        if self.lambda_growth < 1.0:
+            raise ValueError("lambda must be non-decreasing over cycles")
+        if min(self.alpha, self.beta, self.gamma) < 0.0:
+            raise ValueError("loss weights must be non-negative")
+
+    def variant(self, **overrides) -> "FairGenConfig":
+        """Return a copy with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)

@@ -1,0 +1,106 @@
+"""The fair predictive model ``d_omega`` (Section II-B, M2).
+
+A three-layer MLP over node features trained on three coupled objectives:
+
+* ``J_P`` — cost-sensitive cross-entropy on the ground-truth labels, with
+  the Eq. 9 weights that up-weight the protected group;
+* ``J_L`` — self-paced label-propagation likelihood over the (node, class)
+  pairs admitted by the self-paced vectors;
+* ``J_F`` — the statistical-parity regularizer of Eqs. 10-11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Adam, Tensor
+from ..nn import functional as F
+from .fairness import cost_sensitive_weights, parity_loss
+
+__all__ = ["FairDiscriminator"]
+
+
+class FairDiscriminator:
+    """Cost-sensitive, parity-regularized node classifier."""
+
+    def __init__(self, features: np.ndarray, num_classes: int,
+                 protected_mask: np.ndarray, rng: np.random.Generator,
+                 hidden_dim: int = 32, lr: float = 0.01,
+                 alpha: float = 1.0, beta: float = 1.0, gamma: float = 1.0):
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be (num_nodes, feature_dim)")
+        self.features = features
+        self.num_nodes, self.feature_dim = features.shape
+        self.num_classes = num_classes
+        self.protected_mask = np.asarray(protected_mask, dtype=bool)
+        if self.protected_mask.shape != (self.num_nodes,):
+            raise ValueError("protected_mask must have one flag per node")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        # "The architecture of the discriminator is a three-layer MLP."
+        self.mlp = MLP([self.feature_dim, hidden_dim, hidden_dim, num_classes],
+                       rng)
+        self.optimizer = Adam(self.mlp.parameters(), lr=lr)
+        self.loss_history: list[dict[str, float]] = []
+
+    # ------------------------------------------------------------------
+    def log_probs(self, nodes: np.ndarray | None = None) -> Tensor:
+        """Differentiable log P(y|x) for the given nodes (default: all)."""
+        if nodes is None:
+            x = Tensor(self.features)
+        else:
+            x = Tensor(self.features[np.asarray(nodes, dtype=np.int64)])
+        return self.mlp(x).log_softmax(axis=-1)
+
+    def predict_log_proba(self) -> np.ndarray:
+        """Log-probabilities for every node, detached."""
+        return self.log_probs().numpy().copy()
+
+    def predict_proba(self) -> np.ndarray:
+        return np.exp(self.predict_log_proba())
+
+    def predict(self) -> np.ndarray:
+        return self.predict_log_proba().argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    def train_step(self, batch_nodes: np.ndarray, batch_classes: np.ndarray,
+                   sp_nodes: np.ndarray, sp_classes: np.ndarray) -> dict[str, float]:
+        """One SGD step on ``J_P + J_L + J_F`` (Algorithm 1, step 10).
+
+        ``batch_nodes/classes`` come from the (augmented) labeled set L;
+        ``sp_nodes/sp_classes`` are the (node, class) pairs currently
+        admitted by the self-paced vectors (the J_L selection).
+        """
+        self.optimizer.zero_grad()
+        zero = Tensor(np.zeros(()))
+
+        # J_P: cost-sensitive prediction loss on the labeled batch.
+        if self.alpha > 0 and batch_nodes.size:
+            weights = cost_sensitive_weights(batch_nodes, self.protected_mask)
+            j_p = F.nll_loss(self.log_probs(batch_nodes), batch_classes,
+                             weights=weights, reduction="sum") * self.alpha
+        else:
+            j_p = zero
+
+        # J_L: self-paced label propagation over admitted pairs.
+        if self.beta > 0 and sp_nodes.size:
+            j_l = F.nll_loss(self.log_probs(sp_nodes), sp_classes,
+                             reduction="mean") * self.beta
+        else:
+            j_l = zero
+
+        # J_F: statistical parity over ALL nodes (group-level constraint).
+        if self.gamma > 0:
+            j_f = parity_loss(self.log_probs(), self.protected_mask) * self.gamma
+        else:
+            j_f = zero
+
+        loss = j_p + j_l + j_f
+        loss.backward()
+        self.optimizer.step()
+        record = {"J_P": j_p.item(), "J_L": j_l.item(), "J_F": j_f.item(),
+                  "total": loss.item()}
+        self.loss_history.append(record)
+        return record

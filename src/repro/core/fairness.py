@@ -1,0 +1,68 @@
+"""Fairness machinery: cost-sensitive weights (Eq. 9) and statistical
+parity (Eqs. 10-11).
+
+``J_F = gamma * sum_c || m_c^+ - m_c^- ||`` where ``m_c^+`` is the mean
+log-probability of class ``c`` over the protected group and ``m_c^-`` the
+same over the unprotected group.  Driving the two toward each other makes
+label propagation treat both groups alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+
+__all__ = ["cost_sensitive_weights", "group_class_means", "parity_loss",
+           "statistical_parity_gap"]
+
+
+def cost_sensitive_weights(nodes: np.ndarray,
+                           protected_mask: np.ndarray) -> np.ndarray:
+    """Eq. 9: ``xi(x) = 1/|S+|`` for protected nodes, ``1/|S-|`` otherwise.
+
+    Because the protected group is small, its members receive much larger
+    weights, forcing ``d_omega`` to attend to them.
+    """
+    protected_mask = np.asarray(protected_mask, dtype=bool)
+    size_pos = int(protected_mask.sum())
+    size_neg = int((~protected_mask).sum())
+    if size_pos == 0 or size_neg == 0:
+        raise ValueError("both protected and unprotected groups must be "
+                         "non-empty")
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return np.where(protected_mask[nodes], 1.0 / size_pos, 1.0 / size_neg)
+
+
+def group_class_means(log_probs: Tensor, group_mask: np.ndarray) -> Tensor:
+    """``m_c`` (Eq. 10/11): per-class mean log-probability over a group."""
+    group_mask = np.asarray(group_mask, dtype=bool)
+    count = int(group_mask.sum())
+    if count == 0:
+        raise ValueError("group is empty")
+    weights = (group_mask.astype(np.float64) / count)[:, None]
+    return (log_probs * Tensor(weights)).sum(axis=0)
+
+
+def parity_loss(log_probs: Tensor, protected_mask: np.ndarray) -> Tensor:
+    """Differentiable ``sum_c |m_c^+ - m_c^-|`` over all classes."""
+    protected_mask = np.asarray(protected_mask, dtype=bool)
+    m_pos = group_class_means(log_probs, protected_mask)
+    m_neg = group_class_means(log_probs, ~protected_mask)
+    return (m_pos - m_neg).abs().sum()
+
+
+def statistical_parity_gap(probabilities: np.ndarray,
+                           protected_mask: np.ndarray) -> float:
+    """Diagnostic parity gap on plain probabilities (not log space).
+
+    ``sum_c |E[P(y=c)|S+] - E[P(y=c)|S-]|`` — 0 means perfectly matched
+    class-membership distributions between groups.
+    """
+    protected_mask = np.asarray(protected_mask, dtype=bool)
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValueError("probabilities must be (num_nodes, num_classes)")
+    pos = probs[protected_mask].mean(axis=0)
+    neg = probs[~protected_mask].mean(axis=0)
+    return float(np.abs(pos - neg).sum())

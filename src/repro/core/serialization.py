@@ -1,0 +1,87 @@
+"""Persistence for trained FairGen models.
+
+A fitted FairGen can be shipped without the training pipeline: the
+archive stores the configuration, the generator and discriminator
+parameters, the node features and the protected mask.  Loading against
+the original graph restores a model that can ``generate`` and
+``propose_edges`` (the self-paced training state is not preserved —
+reloading is for inference, not for resuming Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+
+from ..graph import Graph
+from .config import FairGenConfig
+from .discriminator import FairDiscriminator
+from .fairgen import FairGen
+from ..models.walk_lm import TransformerWalkModel
+
+__all__ = ["save_fairgen", "load_fairgen"]
+
+
+def save_fairgen(model: FairGen, path: str | os.PathLike) -> None:
+    """Serialise a fitted FairGen to a compressed ``.npz`` archive."""
+    if model.generator is None or model.discriminator is None:
+        raise ValueError("only fitted models can be saved")
+    payload: dict[str, np.ndarray] = {
+        "config_json": np.frombuffer(
+            json.dumps(dataclasses.asdict(model.config)).encode(),
+            dtype=np.uint8),
+        "protected_mask": model.protected_mask.astype(np.int8),
+        "features": model.features,
+        "num_classes": np.array([model.discriminator.num_classes]),
+    }
+    for name, value in model.generator.state_dict().items():
+        payload[f"generator/{name}"] = value
+    for name, value in model.discriminator.mlp.state_dict().items():
+        payload[f"discriminator/{name}"] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_fairgen(path: str | os.PathLike, graph: Graph) -> FairGen:
+    """Restore a FairGen saved by :func:`save_fairgen` for inference.
+
+    ``graph`` must be the graph the model was fitted on (generation needs
+    its size, edge count and protected volume).
+    """
+    with np.load(path) as archive:
+        config = FairGenConfig(**json.loads(
+            archive["config_json"].tobytes().decode()))
+        protected = archive["protected_mask"].astype(bool)
+        features = archive["features"]
+        num_classes = int(archive["num_classes"][0])
+        generator_state = {
+            name.removeprefix("generator/"): archive[name]
+            for name in archive.files if name.startswith("generator/")}
+        discriminator_state = {
+            name.removeprefix("discriminator/"): archive[name]
+            for name in archive.files if name.startswith("discriminator/")}
+
+    if protected.shape != (graph.num_nodes,):
+        raise ValueError("graph does not match the saved model "
+                         f"({protected.size} vs {graph.num_nodes} nodes)")
+
+    model = FairGen(config)
+    model._fitted_graph = graph
+    model.protected_mask = protected
+    model.features = features
+
+    init_rng = np.random.default_rng(0)
+    model.generator = TransformerWalkModel(
+        graph.num_nodes, config.model_dim, config.num_heads,
+        config.num_layers, config.walk_length, init_rng)
+    model.generator.load_state_dict(generator_state)
+
+    model.discriminator = FairDiscriminator(
+        features, num_classes, protected, init_rng,
+        hidden_dim=config.hidden_dim, lr=config.discriminator_lr,
+        alpha=config.alpha, beta=config.beta,
+        gamma=config.gamma if config.use_parity else 0.0)
+    model.discriminator.mlp.load_state_dict(discriminator_state)
+    return model

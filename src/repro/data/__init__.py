@@ -1,0 +1,7 @@
+"""Benchmark datasets (synthetic stand-ins for the paper's Table I)."""
+
+from .datasets import (Dataset, dataset_names, dataset_statistics,
+                       labeled_dataset_names, load_dataset)
+
+__all__ = ["Dataset", "load_dataset", "dataset_names",
+           "labeled_dataset_names", "dataset_statistics"]

@@ -1,0 +1,13 @@
+"""Embedding substrate: SGNS word2vec, node2vec, t-SNE, separability."""
+
+from .word2vec import SkipGramModel, unigram_table, walks_to_pairs
+from .node2vec import Node2VecConfig, node2vec_embedding
+from .tsne import pairwise_sq_distances, tsne
+from .separability import centroid_separability, silhouette_score
+
+__all__ = [
+    "SkipGramModel", "walks_to_pairs", "unigram_table",
+    "Node2VecConfig", "node2vec_embedding",
+    "tsne", "pairwise_sq_distances",
+    "silhouette_score", "centroid_separability",
+]

@@ -1,0 +1,97 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008).
+
+The paper's Figures 1 and 9 embed node2vec representations into 2-D with
+t-SNE to show, qualitatively, whether the protected group stays separable
+in generated graphs.  sklearn is unavailable offline, so we implement the
+exact O(n^2) algorithm: Gaussian input affinities calibrated per-point to a
+target perplexity via binary search, Student-t output affinities, KL
+gradient descent with momentum and early exaggeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne", "pairwise_sq_distances"]
+
+
+def pairwise_sq_distances(x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix of the rows of ``x``."""
+    sq = (x ** 2).sum(axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d, 0.0, out=d)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def _calibrated_affinities(dist_sq: np.ndarray, perplexity: float,
+                           tol: float = 1e-5, max_iter: int = 64) -> np.ndarray:
+    """Per-row Gaussian kernels with entropy matched to log(perplexity)."""
+    n = dist_sq.shape[0]
+    target = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        row = dist_sq[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iter):
+            kernel = np.exp(-row * beta)
+            total = kernel.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            prob = kernel / total
+            nz = prob > 0
+            entropy = float(-(prob[nz] * np.log(prob[nz])).sum())
+            diff = entropy - target
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> narrow the kernel
+                beta_lo = beta
+                beta = beta * 2.0 if beta_hi == np.inf else (beta + beta_hi) / 2.0
+            else:
+                beta_hi = beta
+                beta = beta / 2.0 if beta_lo == 0.0 else (beta + beta_lo) / 2.0
+        p[i] = prob
+    return p
+
+
+def tsne(x: np.ndarray, dim: int = 2, perplexity: float = 30.0,
+         iterations: int = 300, lr: float = 100.0,
+         rng: np.random.Generator | None = None,
+         early_exaggeration: float = 4.0) -> np.ndarray:
+    """Embed rows of ``x`` into ``dim`` dimensions.
+
+    Returns an array of shape ``(len(x), dim)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least 3 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    cond = _calibrated_affinities(pairwise_sq_distances(x), perplexity)
+    p = (cond + cond.T) / (2.0 * n)
+    np.maximum(p, 1e-12, out=p)
+
+    y = rng.normal(0.0, 1e-4, (n, dim))
+    velocity = np.zeros_like(y)
+    exaggeration_until = iterations // 4
+
+    for it in range(iterations):
+        pij = p * early_exaggeration if it < exaggeration_until else p
+        num = 1.0 / (1.0 + pairwise_sq_distances(y))
+        np.fill_diagonal(num, 0.0)
+        q = num / num.sum()
+        np.maximum(q, 1e-12, out=q)
+        # KL gradient: 4 * sum_j (p_ij - q_ij) (y_i - y_j) / (1 + |y_i-y_j|^2)
+        coeff = (pij - q) * num
+        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+        momentum = 0.5 if it < exaggeration_until else 0.8
+        velocity = momentum * velocity - lr * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

@@ -1,0 +1,26 @@
+"""Evaluation harness: discrepancy, classification, augmentation."""
+
+from .discrepancy import (mean_discrepancy, overall_discrepancy,
+                          protected_discrepancy, relative_discrepancy)
+from .classification import (LogisticRegression, accuracy,
+                             cross_validated_accuracy, k_fold_indices)
+from .augmentation import (AugmentationResult, augment_graph,
+                           augmentation_study, insert_edges)
+from .distribution import (clustering_distribution_mmd, degree_distribution_mmd,
+                           degree_histogram, gaussian_mmd)
+from .link_prediction import (LinkPredictionResult, average_precision,
+                              link_prediction_scores, roc_auc,
+                              sample_non_edges)
+
+__all__ = [
+    "relative_discrepancy", "overall_discrepancy", "protected_discrepancy",
+    "mean_discrepancy",
+    "LogisticRegression", "accuracy", "k_fold_indices",
+    "cross_validated_accuracy",
+    "AugmentationResult", "augment_graph", "insert_edges",
+    "augmentation_study",
+    "gaussian_mmd", "degree_histogram", "degree_distribution_mmd",
+    "clustering_distribution_mmd",
+    "roc_auc", "average_precision", "sample_non_edges",
+    "link_prediction_scores", "LinkPredictionResult",
+]

@@ -1,0 +1,107 @@
+"""Data-augmentation case study (Section III-D, Figure 6).
+
+Procedure, following the paper:
+
+1. learn node2vec embeddings of the original graph and record the 10-fold
+   logistic-regression accuracy ("No Augmentation");
+2. let a fitted generative model propose a synthetic graph; take its
+   highest-support *new* edges (absent from the original) and insert 5%
+   more edges into the original graph;
+3. re-run node2vec + logistic regression on the augmented graph.
+
+FairGen's label-informed generator proposes intra-class edges far more
+often than unsupervised baselines, which is where its up-to-17% accuracy
+gain comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..embedding import Node2VecConfig, node2vec_embedding
+from ..graph import Graph
+from ..models.base import GraphGenerativeModel
+from .classification import cross_validated_accuracy
+
+__all__ = ["AugmentationResult", "augment_graph", "insert_edges",
+           "augmentation_study"]
+
+
+def insert_edges(original: Graph, edges: np.ndarray) -> Graph:
+    """Return a copy of ``original`` with the given (u, v) pairs added."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size == 0:
+        return original
+    combined = np.concatenate([original.edges(), edges], axis=0)
+    return Graph.from_edges(original.num_nodes, combined)
+
+
+@dataclass(frozen=True)
+class AugmentationResult:
+    """Accuracy of a model's augmentation vs the un-augmented baseline."""
+
+    model_name: str
+    baseline_accuracy: float
+    baseline_std: float
+    augmented_accuracy: float
+    augmented_std: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative accuracy improvement over no augmentation."""
+        if self.baseline_accuracy == 0:
+            return 0.0
+        return (self.augmented_accuracy - self.baseline_accuracy) \
+            / self.baseline_accuracy
+
+
+def augment_graph(original: Graph, generated: Graph,
+                  fraction: float = 0.05) -> Graph:
+    """Insert ``fraction`` * m new edges proposed by the generated graph.
+
+    New edges are those present in ``generated`` but not in ``original``;
+    if the generator proposes fewer novel edges than the budget, all of
+    them are inserted.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    budget = max(1, int(round(fraction * original.num_edges)))
+    novel = (generated.adjacency - generated.adjacency.multiply(
+        original.adjacency))
+    novel = sp.triu(novel, k=1).tocoo()
+    take = min(budget, novel.nnz)
+    if take == 0:
+        return original
+    # Deterministic order: novel edges sorted by (row, col).
+    order = np.lexsort((novel.col, novel.row))[:take]
+    extra = np.column_stack([novel.row[order], novel.col[order]])
+    combined = np.concatenate([original.edges(), extra], axis=0)
+    return Graph.from_edges(original.num_nodes, combined)
+
+
+def augmentation_study(original: Graph, labels: np.ndarray,
+                       num_classes: int, model: GraphGenerativeModel,
+                       rng: np.random.Generator,
+                       fraction: float = 0.05,
+                       embed_config: Node2VecConfig | None = None,
+                       folds: int = 10) -> AugmentationResult:
+    """Run the full Figure 6 pipeline for one fitted model."""
+    if not model.is_fitted:
+        raise ValueError("model must be fitted on the original graph first")
+    config = embed_config or Node2VecConfig()
+    base_features = node2vec_embedding(original, config, rng)
+    base_acc, base_std = cross_validated_accuracy(
+        base_features, labels, num_classes, rng, k=folds)
+
+    budget = max(1, int(round(fraction * original.num_edges)))
+    proposals = model.propose_edges(budget, rng)
+    augmented = insert_edges(original, proposals)
+    aug_features = node2vec_embedding(augmented, config, rng)
+    aug_acc, aug_std = cross_validated_accuracy(
+        aug_features, labels, num_classes, rng, k=folds)
+
+    return AugmentationResult(model.name, base_acc, base_std,
+                              aug_acc, aug_std)

@@ -1,0 +1,69 @@
+"""Discrepancy measures of Section III-A (Eqs. 15 and 16).
+
+``R(G, G~, f) = |f(G) - f(G~)| / |f(G)|`` for each of the nine Table II
+statistics ``f``; the protected variant ``R+`` evaluates ``f`` on the
+1-hop ego networks of the protected group in both graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..graph import metrics as gm
+
+__all__ = ["relative_discrepancy", "overall_discrepancy",
+           "protected_discrepancy", "mean_discrepancy"]
+
+
+def relative_discrepancy(original: float, generated: float) -> float:
+    """``|f(G) - f(G~)| / |f(G)|``, with conventions for edge cases.
+
+    When the original statistic is 0 the relative error is 0 if the
+    generated one matches and ``inf`` otherwise; NaN statistics (e.g. PLE
+    on an empty graph) propagate to NaN.
+    """
+    if np.isnan(original) or np.isnan(generated):
+        return float("nan")
+    if original == 0.0:
+        return 0.0 if generated == 0.0 else float("inf")
+    return abs(original - generated) / abs(original)
+
+
+def overall_discrepancy(original: Graph, generated: Graph,
+                        aspl_sample: int | None = None,
+                        rng: np.random.Generator | None = None) -> dict[str, float]:
+    """Eq. 15 for all nine metrics: name -> R value."""
+    f_orig = gm.all_metrics(original, aspl_sample, rng)
+    f_gen = gm.all_metrics(generated, aspl_sample, rng)
+    return {name: relative_discrepancy(f_orig[name], f_gen[name])
+            for name in gm.METRIC_NAMES}
+
+
+def protected_discrepancy(original: Graph, generated: Graph,
+                          protected_mask: np.ndarray,
+                          aspl_sample: int | None = None,
+                          rng: np.random.Generator | None = None) -> dict[str, float]:
+    """Eq. 16: discrepancy on the protected group's 1-hop ego networks.
+
+    "These subgraphs are the 1-hop ego network with the anchor nodes from
+    the protected group vertices" — both graphs are reduced to the
+    neighborhood of ``S+`` before measuring.
+    """
+    anchors = np.flatnonzero(np.asarray(protected_mask, dtype=bool))
+    if anchors.size == 0:
+        raise ValueError("protected group is empty")
+    sub_orig, _ = original.ego_network(anchors)
+    sub_gen, _ = generated.ego_network(anchors)
+    f_orig = gm.all_metrics(sub_orig, aspl_sample, rng)
+    f_gen = gm.all_metrics(sub_gen, aspl_sample, rng)
+    return {name: relative_discrepancy(f_orig[name], f_gen[name])
+            for name in gm.METRIC_NAMES}
+
+
+def mean_discrepancy(values: dict[str, float]) -> float:
+    """Mean over the finite metric discrepancies (summary scalar)."""
+    finite = [v for v in values.values() if np.isfinite(v)]
+    if not finite:
+        return float("nan")
+    return float(np.mean(finite))

@@ -1,0 +1,69 @@
+"""Distribution-level graph comparison via maximum mean discrepancy.
+
+The Table II statistics compare scalar summaries; MMD over per-node
+statistic *distributions* (degree, clustering, walk lengths) is the
+finer-grained comparison popularised by GraphRNN's evaluation protocol
+and is a natural extension of the paper's Figure 4/5 study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..graph.metrics import local_clustering_profile
+
+__all__ = [
+    "gaussian_mmd",
+    "degree_histogram",
+    "degree_distribution_mmd",
+    "clustering_distribution_mmd",
+]
+
+
+def gaussian_mmd(x: np.ndarray, y: np.ndarray,
+                 bandwidth: float | None = None) -> float:
+    """Unbiased-ish MMD^2 estimate with a Gaussian kernel on 1-D samples.
+
+    ``bandwidth`` defaults to the median pairwise distance of the pooled
+    samples (the median heuristic).  Returns a non-negative scalar;
+    0 means the samples are indistinguishable under the kernel.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size == 0 or y.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if bandwidth is None:
+        pooled = np.concatenate([x, y])
+        dists = np.abs(pooled[:, None] - pooled[None, :])
+        positive = dists[dists > 0]
+        bandwidth = float(np.median(positive)) if positive.size else 1.0
+    gamma = 1.0 / (2.0 * bandwidth ** 2 + 1e-12)
+
+    def kernel_mean(a: np.ndarray, b: np.ndarray) -> float:
+        return float(np.exp(-gamma * (a[:, None] - b[None, :]) ** 2).mean())
+
+    mmd_sq = kernel_mean(x, x) + kernel_mean(y, y) - 2 * kernel_mean(x, y)
+    return max(0.0, mmd_sq)
+
+
+def degree_histogram(graph: Graph, max_degree: int | None = None) -> np.ndarray:
+    """Normalised degree histogram (probability per degree value)."""
+    degrees = graph.degrees.astype(np.int64)
+    length = int(max_degree if max_degree is not None
+                 else (degrees.max() if degrees.size else 0)) + 1
+    hist = np.bincount(degrees, minlength=length)[:length]
+    total = hist.sum()
+    return hist / total if total else hist.astype(np.float64)
+
+
+def degree_distribution_mmd(a: Graph, b: Graph) -> float:
+    """MMD between the two graphs' per-node degree samples."""
+    return gaussian_mmd(a.degrees, b.degrees)
+
+
+def clustering_distribution_mmd(a: Graph, b: Graph) -> float:
+    """MMD between the per-node local clustering coefficient samples."""
+
+    return gaussian_mmd(local_clustering_profile(a),
+                        local_clustering_profile(b))

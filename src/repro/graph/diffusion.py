@@ -1,0 +1,88 @@
+"""Diffusion cores and escape probabilities (Definition 1, Lemma 2.1).
+
+Definition 1 of the paper: for a subgraph ``S`` the ``(delta, t)``-diffusion
+core is ``C_S = {x in S | 1 - chi_S' M^t chi_x < delta * phi(S)}``, i.e. the
+nodes whose ``t``-step lazy random walk escapes ``S`` with probability below
+``delta * phi(S)``.  Lemma 2.1 then guarantees that a ``T``-length walk from
+a diffusion-core node stays inside ``S`` with probability at least
+``1 - T * delta * phi(S)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+__all__ = [
+    "indicator_vector",
+    "escape_probability",
+    "stay_probability",
+    "diffusion_core",
+    "lemma21_bound",
+]
+
+
+def indicator_vector(nodes, num_nodes: int) -> np.ndarray:
+    """Indicator ``chi_S``: 1 on ``nodes``, 0 elsewhere (Section II-A)."""
+    chi = np.zeros(num_nodes)
+    chi[np.asarray(nodes, dtype=np.int64)] = 1.0
+    return chi
+
+
+def escape_probability(graph: Graph, nodes, start: int, steps: int) -> float:
+    """Probability ``1 - chi_S' M^t chi_x`` of leaving ``S`` within ``steps``.
+
+    Computed exactly with the truncated kernel ``diag(chi_S) M``: mass that
+    ever steps outside ``S`` is removed and never returns, so the retained
+    mass after ``t`` applications is the stay probability.
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    chi_s = indicator_vector(nodes, graph.num_nodes)
+    if chi_s[start] == 0.0:
+        return 1.0
+    m = graph.transition_matrix()
+    truncated = sp.diags(chi_s) @ m
+    mass = np.zeros(graph.num_nodes)
+    mass[start] = 1.0
+    for _ in range(steps):
+        mass = truncated @ mass
+    return float(1.0 - mass.sum())
+
+
+def stay_probability(graph: Graph, nodes, start: int, steps: int) -> float:
+    """Complement of :func:`escape_probability`."""
+    return 1.0 - escape_probability(graph, nodes, start, steps)
+
+
+def diffusion_core(graph: Graph, nodes, delta: float, steps: int) -> np.ndarray:
+    """The ``(delta, steps)``-diffusion core ``C_S`` of Definition 1.
+
+    Returns the sorted original node ids in ``S`` whose ``steps``-step
+    escape probability is strictly below ``delta * phi(S)``.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    nodes = np.asarray(nodes, dtype=np.int64)
+    phi = graph.conductance(nodes)
+    threshold = delta * phi
+    chi_s = indicator_vector(nodes, graph.num_nodes)
+    m = graph.transition_matrix()
+    truncated = sp.diags(chi_s) @ m
+
+    # Propagate all |S| indicator columns at once: columns of `mass` track
+    # the surviving in-S probability mass of a walk started at each node.
+    mass = np.zeros((graph.num_nodes, nodes.size))
+    mass[nodes, np.arange(nodes.size)] = 1.0
+    for _ in range(steps):
+        mass = truncated @ mass
+    escape = 1.0 - mass.sum(axis=0)
+    return nodes[escape < threshold]
+
+
+def lemma21_bound(graph: Graph, nodes, delta: float, walk_length: int) -> float:
+    """Lemma 2.1 lower bound ``1 - T * delta * phi(S)`` (clipped at 0)."""
+    phi = graph.conductance(np.asarray(nodes, dtype=np.int64))
+    return max(0.0, 1.0 - walk_length * delta * phi)

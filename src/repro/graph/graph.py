@@ -1,0 +1,199 @@
+"""Core undirected-graph data structure on CSR adjacency.
+
+The paper formalises everything on an undirected graph ``G = (V, E)`` with
+adjacency ``A``, degree matrix ``D`` and lazy transition matrix
+``M = (A D^{-1} + I) / 2`` (Section II-A).  This module provides an
+immutable, validated graph type that the samplers, metrics, and models all
+share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Immutable undirected graph backed by a CSR adjacency matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric ``scipy.sparse`` matrix (any format) with binary weights.
+        The diagonal is stripped (no self-loops).
+    """
+
+    def __init__(self, adjacency: sp.spmatrix):
+        adj = sp.csr_matrix(adjacency, dtype=np.float64)
+        adj.setdiag(0)
+        adj.eliminate_zeros()
+        adj.data[:] = 1.0
+        if (abs(adj - adj.T)).nnz != 0:
+            raise ValueError("adjacency must be symmetric (undirected graph)")
+        self._adj = adj
+        self._adj.sort_indices()
+        self._degrees = np.asarray(adj.sum(axis=1)).ravel()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, num_nodes: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph from an iterable of (u, v) pairs (deduplicated)."""
+        edges = np.asarray(list(edges), dtype=np.int64)
+        if edges.size == 0:
+            return cls(sp.csr_matrix((num_nodes, num_nodes)))
+        if edges.min() < 0 or edges.max() >= num_nodes:
+            raise ValueError("edge endpoint out of range")
+        rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        cols = np.concatenate([edges[:, 1], edges[:, 0]])
+        data = np.ones(rows.size)
+        adj = sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+        return cls(adj)
+
+    @classmethod
+    def from_numpy(cls, dense: np.ndarray) -> "Graph":
+        """Build a graph from a dense 0/1 adjacency matrix."""
+        return cls(sp.csr_matrix(dense))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._adj.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return int(self._adj.nnz // 2)
+
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """The CSR adjacency (treat as read-only)."""
+        return self._adj
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vector of node degrees (read-only view)."""
+        return self._degrees
+
+    def degree(self, node: int) -> int:
+        return int(self._degrees[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of ``node``."""
+        lo, hi = self._adj.indptr[node], self._adj.indptr[node + 1]
+        return self._adj.indices[lo:hi]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.neighbors(u)
+
+    def edges(self) -> np.ndarray:
+        """Array of shape (m, 2) with each undirected edge once (u < v)."""
+        coo = sp.triu(self._adj, k=1).tocoo()
+        return np.column_stack([coo.row, coo.col]).astype(np.int64)
+
+    def density(self) -> float:
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        return 2.0 * self.num_edges / (n * (n - 1))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (self.num_nodes == other.num_nodes
+                and (self._adj != other._adj).nnz == 0)
+
+    # ------------------------------------------------------------------
+    # Spectral / walk matrices
+    # ------------------------------------------------------------------
+    def transition_matrix(self) -> sp.csr_matrix:
+        """Lazy random-walk matrix ``M = (A D^{-1} + I) / 2`` (Section II-A).
+
+        Column-stochastic: column ``x`` is the one-step distribution of a
+        walk at ``x``.  Isolated nodes self-loop with probability 1.
+        """
+        inv_deg = np.divide(1.0, self._degrees,
+                            out=np.zeros_like(self._degrees),
+                            where=self._degrees > 0)
+        a_dinv = self._adj @ sp.diags(inv_deg)
+        m = (a_dinv + sp.identity(self.num_nodes, format="csr")) / 2.0
+        # Isolated nodes: A D^-1 column is zero, so M column sums to 1/2.
+        # Give them a full self-loop instead so M stays column-stochastic.
+        isolated = np.flatnonzero(self._degrees == 0)
+        if isolated.size:
+            m = sp.lil_matrix(m)
+            for v in isolated:
+                m[v, v] = 1.0
+            m = sp.csr_matrix(m)
+        return m
+
+    def volume(self, nodes: Sequence[int] | np.ndarray) -> int:
+        """Sum of degrees of ``nodes`` (the graph-cut notion of volume)."""
+        return int(self._degrees[np.asarray(nodes, dtype=np.int64)].sum())
+
+    def cut_size(self, nodes: Sequence[int] | np.ndarray) -> int:
+        """Number of edges with exactly one endpoint in ``nodes``."""
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        mask[np.asarray(nodes, dtype=np.int64)] = True
+        coo = sp.triu(self._adj, k=1).tocoo()
+        return int(np.count_nonzero(mask[coo.row] != mask[coo.col]))
+
+    def conductance(self, nodes: Sequence[int] | np.ndarray) -> float:
+        """Conductance ``phi(S) = cut(S) / min(vol(S), vol(V-S))``.
+
+        Returns 1.0 for degenerate sets (empty, full, or zero volume),
+        matching the convention that such sets give no diffusion guarantee.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0 or nodes.size == self.num_nodes:
+            return 1.0
+        vol_s = self.volume(nodes)
+        vol_rest = int(self._degrees.sum()) - vol_s
+        denom = min(vol_s, vol_rest)
+        if denom == 0:
+            return 1.0
+        return self.cut_size(nodes) / denom
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Sequence[int] | np.ndarray) -> "Graph":
+        """Induced subgraph; node ids are compacted to 0..len(nodes)-1."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        sub = self._adj[nodes][:, nodes]
+        return Graph(sub)
+
+    def ego_network(self, anchors: Sequence[int] | np.ndarray) -> tuple["Graph", np.ndarray]:
+        """1-hop ego network around ``anchors``.
+
+        The paper's protected-group discrepancy (Eq. 16) is measured on
+        "the 1-hop ego network with the anchor nodes from the protected
+        group vertices".  Returns the induced subgraph and the original
+        node ids it covers (anchors plus their neighbors, sorted).
+        """
+        anchors = np.asarray(anchors, dtype=np.int64)
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        mask[anchors] = True
+        for a in anchors:
+            mask[self.neighbors(a)] = True
+        nodes = np.flatnonzero(mask)
+        return self.subgraph(nodes), nodes
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (for cross-checks in tests)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(map(tuple, self.edges()))
+        return g

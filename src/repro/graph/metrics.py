@@ -1,0 +1,190 @@
+"""The nine graph statistics of Table II.
+
+Average Degree (AD), largest connected component (LCC), Triangle Count
+(TC), Power-Law Exponent (PLE), Gini coefficient of the degree
+distribution, Edge Distribution Entropy (EDE), Average Shortest Path
+Length (ASPL), Number of Connected Components (NCC) and the average
+Clustering Coefficient (CC).
+
+These are the metrics over which the paper measures the overall
+discrepancy (Eq. 15, Figure 4) and the protected-group discrepancy
+(Eq. 16, Figure 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from .components import connected_components
+from .graph import Graph
+
+__all__ = [
+    "average_degree",
+    "largest_connected_component",
+    "triangle_count",
+    "power_law_exponent",
+    "gini_coefficient",
+    "edge_distribution_entropy",
+    "average_shortest_path_length",
+    "number_of_connected_components",
+    "clustering_coefficient",
+    "all_metrics",
+    "METRIC_NAMES",
+    "triangles_per_node",
+    "local_clustering_profile",
+]
+
+METRIC_NAMES = ("AD", "LCC", "TC", "PLE", "Gini", "EDE", "ASPL", "NCC", "CC")
+
+
+def average_degree(graph: Graph) -> float:
+    """``E[d(v)] = 2m / n``."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_nodes
+
+
+def largest_connected_component(graph: Graph) -> float:
+    """Size (node count) of the largest connected component."""
+    if graph.num_nodes == 0:
+        return 0.0
+    labels = connected_components(graph)
+    return float(np.bincount(labels).max())
+
+
+def number_of_connected_components(graph: Graph) -> float:
+    """Count of connected components (NCC, via Pearce-style traversal)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return float(connected_components(graph).max() + 1)
+
+
+def triangles_per_node(graph: Graph) -> np.ndarray:
+    """Number of triangles each node participates in."""
+    return _triangles_per_node(graph)
+
+
+def local_clustering_profile(graph: Graph) -> np.ndarray:
+    """Per-node local clustering coefficients (0 for degree < 2)."""
+    tri = _triangles_per_node(graph)
+    deg = graph.degrees
+    possible = deg * (deg - 1) / 2.0
+    return np.divide(tri, possible, out=np.zeros(graph.num_nodes),
+                     where=possible > 0)
+
+
+def _triangles_per_node(graph: Graph) -> np.ndarray:
+    adj = graph.adjacency
+    # diag(A^3) counts closed 3-walks; each triangle at v is counted twice.
+    a2 = adj @ adj
+    tri2 = np.asarray(a2.multiply(adj).sum(axis=1)).ravel()
+    return tri2 / 2.0
+
+
+def triangle_count(graph: Graph) -> float:
+    """Number of triangles: ``trace(A^3) / 6``."""
+    return float(_triangles_per_node(graph).sum() / 3.0)
+
+
+def power_law_exponent(graph: Graph, d_min: float | None = None) -> float:
+    """Hill/MLE estimate ``1 + n (sum_u log(d(u)/d_min))^{-1}`` (Table II).
+
+    ``d_min`` defaults to the smallest positive degree.  Zero-degree nodes
+    are excluded (their log ratio is undefined).  Returns ``inf`` for
+    degenerate degree sequences where every node has degree ``d_min``.
+    """
+    deg = graph.degrees[graph.degrees > 0]
+    if deg.size == 0:
+        return float("nan")
+    if d_min is None:
+        d_min = float(deg.min())
+    total = float(np.log(deg / d_min).sum())
+    if total <= 0.0:
+        return float("inf")
+    return 1.0 + deg.size / total
+
+
+def gini_coefficient(graph: Graph) -> float:
+    """Gini inequality of the degree sequence (Table II formula)."""
+    deg = np.sort(graph.degrees.astype(np.float64))
+    n = deg.size
+    total = deg.sum()
+    if n == 0 or total == 0:
+        return 0.0
+    ranks = np.arange(1, n + 1)
+    return float(2.0 * (ranks * deg).sum() / (n * total) - (n + 1) / n)
+
+
+def edge_distribution_entropy(graph: Graph) -> float:
+    """Relative entropy of the degree distribution.
+
+    ``1/ln(n) * sum_v -p_v ln p_v`` with ``p_v = d(v) / sum_u d(u)``;
+    1.0 for perfectly uniform degrees, lower for concentrated ones.
+    """
+    deg = graph.degrees[graph.degrees > 0].astype(np.float64)
+    n = graph.num_nodes
+    if n <= 1 or deg.size == 0:
+        return 0.0
+    p = deg / deg.sum()
+    return float(-(p * np.log(p)).sum() / np.log(n))
+
+
+def average_shortest_path_length(graph: Graph,
+                                 sample_size: int | None = None,
+                                 rng: np.random.Generator | None = None) -> float:
+    """Mean shortest-path length over connected ordered pairs.
+
+    The Table II definition ``1/(n(n-1)) sum_{i != j} d(v_i, v_j)`` is
+    undefined on disconnected graphs, so (as is standard) we average over
+    reachable pairs only.  For large graphs pass ``sample_size`` to BFS
+    from a random subset of sources.
+    """
+    n = graph.num_nodes
+    if n <= 1:
+        return 0.0
+    if sample_size is not None and sample_size < n:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        sources = rng.choice(n, size=sample_size, replace=False)
+    else:
+        sources = np.arange(n)
+    dist = csgraph.shortest_path(graph.adjacency, method="D",
+                                 unweighted=True, indices=sources)
+    finite = np.isfinite(dist) & (dist > 0)
+    if not finite.any():
+        return 0.0
+    return float(dist[finite].mean())
+
+
+def clustering_coefficient(graph: Graph) -> float:
+    """Average local clustering coefficient.
+
+    For each node ``v`` with degree >= 2 the local coefficient is
+    ``triangles(v) / (d(v) (d(v)-1) / 2)``; lower-degree nodes contribute 0.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    tri = _triangles_per_node(graph)
+    deg = graph.degrees
+    possible = deg * (deg - 1) / 2.0
+    local = np.divide(tri, possible, out=np.zeros(n), where=possible > 0)
+    return float(local.mean())
+
+
+def all_metrics(graph: Graph, aspl_sample: int | None = None,
+                rng: np.random.Generator | None = None) -> dict[str, float]:
+    """Compute all nine Table II statistics as a name -> value dict."""
+    return {
+        "AD": average_degree(graph),
+        "LCC": largest_connected_component(graph),
+        "TC": triangle_count(graph),
+        "PLE": power_law_exponent(graph),
+        "Gini": gini_coefficient(graph),
+        "EDE": edge_distribution_entropy(graph),
+        "ASPL": average_shortest_path_length(graph, aspl_sample, rng),
+        "NCC": number_of_connected_components(graph),
+        "CC": clustering_coefficient(graph),
+    }

@@ -1,0 +1,22 @@
+"""Baseline graph generative models (ER, BA, GAE, NetGAN, TagGen)."""
+
+from .base import (GraphGenerativeModel, assemble_from_scores,
+                   propose_edges_from_walk_counts)
+from .random_models import BAModel, ERModel
+from .gae import GAEModel, normalized_adjacency
+from .netgan import NetGAN, NetGANCritic, NetGANGenerator
+from .graphrnn import (GraphRNN, bfs_adjacency_sequences,
+                       estimate_bandwidth)
+from .taggen import TagGen
+from .walk_lm import TransformerWalkModel
+
+__all__ = [
+    "GraphGenerativeModel", "assemble_from_scores",
+    "propose_edges_from_walk_counts",
+    "ERModel", "BAModel",
+    "GAEModel", "normalized_adjacency",
+    "NetGAN", "NetGANGenerator", "NetGANCritic",
+    "TagGen",
+    "GraphRNN", "bfs_adjacency_sequences", "estimate_bandwidth",
+    "TransformerWalkModel",
+]

@@ -1,0 +1,57 @@
+"""Classic random-graph baselines: Erdos-Renyi and Barabasi-Albert fits.
+
+Section III-A compares FairGen against "two random graph models, i.e.
+Erdos-Renyi (ER) model and Barabasi-Albert (BA) model".  These have no
+training phase: ``fit`` only records the statistics needed to match the
+input size (Table IV reports only their generation time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph, barabasi_albert, erdos_renyi
+from .base import GraphGenerativeModel
+
+__all__ = ["ERModel", "BAModel"]
+
+
+class ERModel(GraphGenerativeModel):
+    """G(n, p) with p matched to the observed density."""
+
+    name = "ER"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._p: float | None = None
+
+    def fit(self, graph: Graph, rng: np.random.Generator) -> "ERModel":
+        self._fitted_graph = graph
+        self._p = graph.density()
+        return self
+
+    def generate(self, rng: np.random.Generator) -> Graph:
+        fitted = self._require_fitted()
+        return erdos_renyi(fitted.num_nodes, self._p, rng)
+
+
+class BAModel(GraphGenerativeModel):
+    """Preferential attachment with the attachment count matched to m/n."""
+
+    name = "BA"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._attach: int | None = None
+
+    def fit(self, graph: Graph, rng: np.random.Generator) -> "BAModel":
+        if graph.num_nodes < 2:
+            raise ValueError("graph too small for a BA fit")
+        self._fitted_graph = graph
+        self._attach = max(1, round(graph.num_edges / graph.num_nodes))
+        return self
+
+    def generate(self, rng: np.random.Generator) -> Graph:
+        fitted = self._require_fitted()
+        attach = min(self._attach, fitted.num_nodes - 1)
+        return barabasi_albert(fitted.num_nodes, attach, rng)

@@ -1,0 +1,94 @@
+"""TagGen baseline (Zhou et al., KDD 2020), adapted to static graphs.
+
+TagGen models graphs with a self-attention network over sampled walks; we
+reproduce its essence — maximum-likelihood training of a transformer walk
+model on biased random walks, followed by count-based assembly — without
+the temporal components (the paper benchmarks it on static graphs, so the
+temporal machinery is inert there anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph, sample_walks, walks_to_edge_counts
+from ..nn import Adam, clip_grad_norm
+from .base import (GraphGenerativeModel, assemble_from_scores,
+                   propose_edges_from_walk_counts)
+from .walk_lm import TransformerWalkModel
+
+__all__ = ["TagGen"]
+
+
+class TagGen(GraphGenerativeModel):
+    """Transformer MLE over node2vec walks."""
+
+    name = "TagGen"
+
+    def __init__(self, walk_length: int = 10, epochs: int = 10,
+                 walks_per_epoch: int = 128, batch_size: int = 32,
+                 dim: int = 32, num_heads: int = 4, num_layers: int = 2,
+                 lr: float = 0.01, generation_walk_factor: int = 20):
+        super().__init__()
+        self.walk_length = walk_length
+        self.epochs = epochs
+        self.walks_per_epoch = walks_per_epoch
+        self.batch_size = batch_size
+        self.dim = dim
+        self.num_heads = num_heads
+        self.num_layers = num_layers
+        self.lr = lr
+        self.generation_walk_factor = generation_walk_factor
+        self.model: TransformerWalkModel | None = None
+        self.loss_history: list[float] = []
+
+    def fit(self, graph: Graph, rng: np.random.Generator) -> "TagGen":
+        self._fitted_graph = graph
+        self.model = TransformerWalkModel(graph.num_nodes, self.dim,
+                                          self.num_heads, self.num_layers,
+                                          self.walk_length, rng)
+        optimizer = Adam(self.model.parameters(), lr=self.lr)
+        self.loss_history = []
+        for _ in range(self.epochs):
+            walks = sample_walks(graph, self.walks_per_epoch,
+                                 self.walk_length, rng)
+            epoch_losses = []
+            for lo in range(0, len(walks), self.batch_size):
+                batch = walks[lo: lo + self.batch_size]
+                optimizer.zero_grad()
+                loss = self.model.nll(batch)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), 5.0)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            self.loss_history.append(float(np.mean(epoch_losses)))
+        return self
+
+    def generate_walks(self, num_walks: int,
+                       rng: np.random.Generator) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("TagGen must be fitted before generating")
+        chunks = []
+        remaining = num_walks
+        while remaining > 0:
+            take = min(remaining, 256)
+            chunks.append(self.model.sample(take, self.walk_length, rng))
+            remaining -= take
+        return np.concatenate(chunks, axis=0)
+
+    def generate(self, rng: np.random.Generator) -> Graph:
+        fitted = self._require_fitted()
+        num_walks = max(64, self.generation_walk_factor
+                        * fitted.num_edges // self.walk_length)
+        walks = self.generate_walks(num_walks, rng)
+        scores = walks_to_edge_counts(walks, fitted.num_nodes)
+        return assemble_from_scores(scores, fitted.num_edges)
+
+    def propose_edges(self, num_edges: int,
+                      rng: np.random.Generator) -> np.ndarray:
+        fitted = self._require_fitted()
+        num_walks = max(64, self.generation_walk_factor
+                        * fitted.num_edges // self.walk_length)
+        walks = self.generate_walks(num_walks, rng)
+        counts = walks_to_edge_counts(walks, fitted.num_nodes)
+        return propose_edges_from_walk_counts(fitted, counts, num_edges)

@@ -1,0 +1,104 @@
+"""Autoregressive transformer language model over random walks.
+
+FairGen's generator ``g_theta`` is "the Transformer-based generator"
+(Eq. 4) modelling node-id sequences; our TagGen baseline reuses the same
+architecture (TagGen is likewise a self-attention model over walks).  The
+model is a standard causal LM: a start token, learned node embeddings plus
+sinusoidal positions, ``num_layers`` pre-norm transformer blocks, and a
+softmax over the node vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (Embedding, LayerNorm, Linear, Module, Tensor, causal_mask,
+                  no_grad, sinusoidal_positions)
+from ..nn.attention import TransformerBlock
+from ..nn import functional as F
+
+__all__ = ["TransformerWalkModel"]
+
+
+class TransformerWalkModel(Module):
+    """Causal transformer over walks of node ids ``0 .. num_nodes-1``.
+
+    The token ``num_nodes`` is a beginning-of-walk marker, so the model
+    also learns the start-node distribution.
+    """
+
+    def __init__(self, num_nodes: int, dim: int, num_heads: int,
+                 num_layers: int, max_length: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        self.num_nodes = num_nodes
+        self.max_length = max_length
+        self.start_token = num_nodes
+        self.embed = Embedding(num_nodes + 1, dim, rng)
+        self.blocks = [TransformerBlock(dim, num_heads, rng, dropout=dropout)
+                       for _ in range(num_layers)]
+        self.final_norm = LayerNorm(dim)
+        self.head = Linear(dim, num_nodes, rng)
+        self._positions = sinusoidal_positions(max_length + 1, dim)
+
+    # ------------------------------------------------------------------
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Logits of shape ``(B, T, num_nodes)`` for input token ids."""
+        batch, length = tokens.shape
+        if length > self.max_length + 1:
+            raise ValueError("sequence longer than the configured maximum")
+        h = self.embed(tokens) + Tensor(self._positions[:length])
+        mask = causal_mask(length)
+        for block in self.blocks:
+            h = block(h, mask)
+        return self.head(self.final_norm(h))
+
+    def _shift(self, walks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Prepend the start token: inputs predict each walk position."""
+        batch = walks.shape[0]
+        start = np.full((batch, 1), self.start_token, dtype=np.int64)
+        inputs = np.concatenate([start, walks[:, :-1]], axis=1)
+        return inputs, walks
+
+    def log_likelihood(self, walks: np.ndarray) -> Tensor:
+        """Per-walk log-likelihood ``sum_t log g(w_t | w_<t)`` — Eq. 1."""
+        inputs, targets = self._shift(np.asarray(walks, dtype=np.int64))
+        log_probs = self.forward(inputs).log_softmax(axis=-1)
+        mask = F.one_hot(targets, self.num_nodes)
+        return (log_probs * Tensor(mask)).sum(axis=-1).sum(axis=-1)
+
+    def nll(self, walks: np.ndarray) -> Tensor:
+        """Mean negative log-likelihood over a batch of walks."""
+        return -self.log_likelihood(walks).mean()
+
+    # ------------------------------------------------------------------
+    def sample(self, num_walks: int, length: int,
+               rng: np.random.Generator, temperature: float = 1.0,
+               starts: np.ndarray | None = None) -> np.ndarray:
+        """Autoregressively sample synthetic walks (no gradients).
+
+        ``starts`` optionally pins the first node of each walk, which the
+        FairGen assembler uses to give protected nodes walk coverage.
+        """
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if length > self.max_length:
+            raise ValueError("length exceeds the configured maximum")
+        tokens = np.full((num_walks, 1), self.start_token, dtype=np.int64)
+        if starts is not None:
+            starts = np.asarray(starts, dtype=np.int64).reshape(num_walks, 1)
+            tokens = np.concatenate([tokens, starts], axis=1)
+        with no_grad():
+            while tokens.shape[1] < length + 1:
+                logits = self.forward(tokens).numpy()[:, -1, :] / temperature
+                logits -= logits.max(axis=1, keepdims=True)
+                probs = np.exp(logits)
+                probs /= probs.sum(axis=1, keepdims=True)
+                cumulative = probs.cumsum(axis=1)
+                u = rng.random((num_walks, 1))
+                next_ids = (cumulative < u).sum(axis=1)
+                next_ids = np.minimum(next_ids, self.num_nodes - 1)
+                tokens = np.concatenate([tokens, next_ids[:, None]], axis=1)
+        return tokens[:, 1:]

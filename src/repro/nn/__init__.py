@@ -1,0 +1,25 @@
+"""NumPy neural-network substrate (autograd, layers, attention, LSTM)."""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .layers import (Dropout, Embedding, LayerNorm, Linear, MLP, Module,
+                     Parameter, Sequential)
+from .attention import (MultiHeadSelfAttention, TransformerBlock, causal_mask,
+                        sinusoidal_positions)
+from .rnn import LSTM, LSTMCell
+from .optim import (Adagrad, Adam, CosineAnnealingLR, LRScheduler,
+                    Optimizer, RMSprop, SGD, StepLR, clip_grad_norm)
+from .serialization import load_state, save_state
+from . import functional
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "Module", "Parameter", "Linear", "Embedding", "LayerNorm", "Dropout",
+    "Sequential", "MLP",
+    "MultiHeadSelfAttention", "TransformerBlock", "causal_mask",
+    "sinusoidal_positions",
+    "LSTM", "LSTMCell",
+    "Optimizer", "SGD", "Adam", "RMSprop", "Adagrad", "clip_grad_norm",
+    "LRScheduler", "StepLR", "CosineAnnealingLR",
+    "save_state", "load_state",
+    "functional",
+]

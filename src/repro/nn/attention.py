@@ -1,0 +1,96 @@
+"""Transformer building blocks for FairGen's walk generator.
+
+FairGen replaces the RNN generators of NetGAN/TagGen with a causal
+Transformer (Section II-B, M1, Eq. 4): the generator ``g_theta`` is an
+autoregressive language model over node-id sequences (random walks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+from .layers import Dropout, LayerNorm, Linear, Module, Parameter
+
+__all__ = [
+    "causal_mask",
+    "sinusoidal_positions",
+    "MultiHeadSelfAttention",
+    "TransformerBlock",
+]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive mask: 0 on/below the diagonal, ``-1e9`` above it."""
+    mask = np.zeros((length, length))
+    mask[np.triu_indices(length, k=1)] = -1e9
+    return mask
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Fixed sinusoidal positional encodings from Vaswani et al. (2017)."""
+    position = np.arange(length)[:, None].astype(np.float64)
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    enc = np.zeros((length, dim))
+    enc[:, 0::2] = np.sin(position * div)
+    enc[:, 1::2] = np.cos(position * div[: dim // 2])
+    return enc
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    The paper sets the number of transformer heads to 4 (Section III-B).
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+        self.attn_dropout = Dropout(dropout, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, d)
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, length, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, length)
+        k = self._split_heads(self.k_proj(x), batch, length)
+        v = self._split_heads(self.v_proj(x), batch, length)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        attn = scores.softmax(axis=-1)
+        attn = self.attn_dropout(attn)
+        context = attn @ v  # (B, H, T, d)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        return self.out_proj(merged)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: attention + position-wise feed-forward."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 ff_mult: int = 4, dropout: float = 0.0):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng, dropout)
+        self.norm2 = LayerNorm(dim)
+        self.ff_in = Linear(dim, ff_mult * dim, rng)
+        self.ff_out = Linear(ff_mult * dim, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask)
+        hidden = self.ff_in(self.norm2(x)).gelu()
+        return x + self.dropout(self.ff_out(hidden))

@@ -1,0 +1,49 @@
+"""Finite-difference gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn().item()
+        flat[i] = original - eps
+        minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], tensors: list[Tensor],
+                    atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Assert analytic and numerical gradients agree for every tensor.
+
+    Raises ``AssertionError`` on mismatch; intended for the test suite.
+    """
+    for t in tensors:
+        t.zero_grad()
+    loss = fn()
+    loss.backward()
+    analytic = [t.grad.copy() if t.grad is not None else np.zeros_like(t.data)
+                for t in tensors]
+    for t, a in zip(tensors, analytic):
+        n = numerical_gradient(fn, t)
+        if not np.allclose(a, n, atol=atol, rtol=rtol):
+            worst = float(np.abs(a - n).max())
+            raise AssertionError(
+                f"gradient mismatch (max abs err {worst:.2e}) for tensor "
+                f"of shape {t.shape}")

@@ -1,0 +1,64 @@
+"""LSTM recurrence, used by the NetGAN baseline's generator/discriminator.
+
+NetGAN (Bojchevski et al., ICML 2018) models random walks with an LSTM
+trained under a Wasserstein-GAN objective; FairGen cites it as the main
+deep baseline and its Figure 1 disparity study runs on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+from .layers import Linear, Module
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single LSTM step with combined input/hidden projections."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.ih = Linear(input_dim, 4 * hidden_dim, rng)
+        self.hh = Linear(hidden_dim, 4 * hidden_dim, rng, bias=False)
+        # Forget-gate bias of 1.0 eases early gradient flow.
+        self.ih.bias.data[hidden_dim: 2 * hidden_dim] = 1.0
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = self.ih(x) + self.hh(h_prev)
+        H = self.hidden_dim
+        i = gates[:, 0 * H: 1 * H].sigmoid()
+        f = gates[:, 1 * H: 2 * H].sigmoid()
+        g = gates[:, 2 * H: 3 * H].tanh()
+        o = gates[:, 3 * H: 4 * H].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def zero_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_dim))
+        return Tensor(zeros), Tensor(zeros)
+
+
+class LSTM(Module):
+    """Unrolled single-layer LSTM over a ``(B, T, D)`` input tensor."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng)
+
+    def forward(self, x: Tensor,
+                state: tuple[Tensor, Tensor] | None = None) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        batch, length, _ = x.shape
+        if state is None:
+            state = self.cell.zero_state(batch)
+        outputs = []
+        for t in range(length):
+            h, c = self.cell(x[:, t, :], state)
+            state = (h, c)
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1), state

@@ -1,0 +1,33 @@
+"""Saving and loading module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's ``state_dict`` to a compressed ``.npz`` file.
+
+    Parameter names may contain dots, which ``np.savez`` accepts as keys.
+    """
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``.
+
+    Raises ``KeyError``/``ValueError`` on any name or shape mismatch, so
+    silently loading into the wrong architecture is impossible.
+    """
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,5 @@
+"""Small shared utilities: seeding, timing, text tables."""
+
+from .helpers import Timer, format_table, seeded_rng, spawn_rngs
+
+__all__ = ["seeded_rng", "spawn_rngs", "Timer", "format_table"]

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "EMAIL", "--model", "er"])
+        assert args.command == "generate"
+        assert args.dataset == "EMAIL"
+        assert args.seed == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--dataset", "EMAIL", "--model", "bogus"])
+
+    def test_augment_restricted_to_labeled(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["augment", "--dataset", "EMAIL", "--model", "fairgen"])
+
+
+class TestCommands:
+    def test_datasets_prints_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("EMAIL", "BLOG", "ACM"):
+            assert name in out
+
+    def test_generate_er(self, capsys):
+        assert main(["generate", "--dataset", "EMAIL", "--model",
+                     "er"]) == 0
+        out = capsys.readouterr().out
+        assert "generated" in out
+
+    def test_evaluate_ba(self, capsys):
+        assert main(["evaluate", "--dataset", "CA", "--model", "ba"]) == 0
+        out = capsys.readouterr().out
+        assert "mean R" in out
+
+    def test_evaluate_fairgen_small(self, capsys):
+        assert main(["evaluate", "--dataset", "BLOG", "--model", "fairgen",
+                     "--cycles", "2", "--generator-steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mean R+" in out
+
+    def test_fairgen_on_unlabeled_fails_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "EMAIL", "--model", "fairgen",
+                  "--cycles", "2", "--generator-steps", "2"])

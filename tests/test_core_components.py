@@ -1,0 +1,318 @@
+"""Tests for FairGen's building blocks: config, sampler, fairness,
+self-paced state, discriminator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (ContextSampler, FairDiscriminator, FairGenConfig,
+                        SelfPacedState, cost_sensitive_weights,
+                        group_class_means, parity_loss,
+                        statistical_parity_gap)
+from repro.graph import planted_protected_graph
+from repro.nn import Tensor
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = FairGenConfig()
+        assert cfg.batch_size == 128       # N1
+        assert cfg.batch_iterations == 3   # T1
+        assert cfg.walk_length == 10       # T
+        assert cfg.num_heads == 4
+        assert cfg.alpha == cfg.beta == cfg.gamma == 1.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("sampling_ratio", 1.5),
+        ("walk_length", 1),
+        ("self_paced_cycles", 0),
+        ("delta", 0.0),
+        ("lambda_growth", 0.5),
+        ("alpha", -1.0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            FairGenConfig(**{field: value})
+
+    def test_variant_returns_copy(self):
+        cfg = FairGenConfig()
+        other = cfg.variant(gamma=0.0)
+        assert other.gamma == 0.0
+        assert cfg.gamma == 1.0
+
+
+@pytest.fixture
+def labeled_setup(rng):
+    graph, labels, protected = planted_protected_graph(
+        60, 12, rng, p_in=0.35, p_out=0.02, num_classes=2,
+        protected_as_class=True)
+    nodes = []
+    classes = []
+    for cls in range(3):
+        members = np.flatnonzero(labels == cls)
+        nodes.extend(members[:3].tolist())
+        classes.extend([cls] * 3)
+    return graph, labels, protected, np.array(nodes), np.array(classes)
+
+
+class TestContextSampler:
+    def test_r_one_is_general_sampling(self, labeled_setup, rng):
+        graph, _, _, nodes, classes = labeled_setup
+        sampler = ContextSampler(graph, 1.0, walk_length=6)
+        sampler.update_labels(nodes, classes)
+        walks = sampler.sample(10, rng)
+        assert walks.shape == (10, 6)
+
+    def test_r_zero_starts_from_labeled(self, labeled_setup, rng):
+        graph, _, _, nodes, classes = labeled_setup
+        sampler = ContextSampler(graph, 0.0, walk_length=6)
+        sampler.update_labels(nodes, classes)
+        walks = sampler.sample(30, rng)
+        all_starts = set()
+        for cls in sampler.classes:
+            all_starts.update(sampler.class_starts(cls).tolist())
+        assert set(walks[:, 0].tolist()).issubset(all_starts)
+
+    def test_no_labels_falls_back_to_general(self, labeled_setup, rng):
+        graph = labeled_setup[0]
+        sampler = ContextSampler(graph, 0.0, walk_length=5)
+        walks = sampler.sample(5, rng)
+        assert walks.shape == (5, 5)
+
+    def test_class_starts_prefer_diffusion_core(self, labeled_setup):
+        graph, labels, _, _, _ = labeled_setup
+        sampler = ContextSampler(graph, 0.5, walk_length=6)
+        # Give it a whole class as labels: core should be a strict subset
+        members = np.flatnonzero(labels == 0)
+        sampler.update_labels(members, np.zeros(members.size, dtype=int))
+        starts = sampler.class_starts(0)
+        assert set(starts.tolist()).issubset(set(members.tolist()))
+
+    def test_singleton_class_fallback(self, labeled_setup, rng):
+        graph = labeled_setup[0]
+        sampler = ContextSampler(graph, 0.0, walk_length=4)
+        sampler.update_labels(np.array([0, 1]), np.array([0, 1]))
+        walks = sampler.sample(8, rng)
+        assert set(walks[:, 0].tolist()).issubset({0, 1})
+
+    def test_mismatched_labels_rejected(self, labeled_setup):
+        graph = labeled_setup[0]
+        sampler = ContextSampler(graph, 0.5, walk_length=4)
+        with pytest.raises(ValueError):
+            sampler.update_labels(np.array([0, 1]), np.array([0]))
+
+    def test_invalid_ratio(self, labeled_setup):
+        with pytest.raises(ValueError):
+            ContextSampler(labeled_setup[0], -0.1, walk_length=4)
+
+    def test_label_guided_fraction(self, labeled_setup):
+        sampler = ContextSampler(labeled_setup[0], 0.3, walk_length=4)
+        assert sampler.label_guided_fraction() == pytest.approx(0.7)
+
+
+class TestCostSensitiveWeights:
+    def test_eq9_values(self):
+        protected = np.array([True, False, False, False])
+        w = cost_sensitive_weights(np.arange(4), protected)
+        np.testing.assert_allclose(w, [1.0, 1 / 3, 1 / 3, 1 / 3])
+
+    def test_protected_weight_dominates(self):
+        protected = np.zeros(100, dtype=bool)
+        protected[:5] = True
+        w = cost_sensitive_weights(np.arange(100), protected)
+        assert w[0] > 10 * w[-1]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            cost_sensitive_weights(np.arange(3), np.zeros(3, dtype=bool))
+
+
+class TestParity:
+    def test_group_class_means(self):
+        logp = Tensor(np.log(np.array([[0.9, 0.1], [0.5, 0.5],
+                                       [0.1, 0.9], [0.5, 0.5]])))
+        mask = np.array([True, True, False, False])
+        m = group_class_means(logp, mask).numpy()
+        expected = np.log([[0.9, 0.1], [0.5, 0.5]]).mean(axis=0)
+        np.testing.assert_allclose(m, expected)
+
+    def test_parity_loss_zero_when_identical(self):
+        probs = np.tile(np.array([[0.7, 0.3]]), (4, 1))
+        logp = Tensor(np.log(probs))
+        mask = np.array([True, False, True, False])
+        assert parity_loss(logp, mask).item() == pytest.approx(0.0)
+
+    def test_parity_loss_positive_when_skewed(self):
+        probs = np.array([[0.9, 0.1], [0.9, 0.1], [0.1, 0.9], [0.1, 0.9]])
+        logp = Tensor(np.log(probs))
+        mask = np.array([True, True, False, False])
+        assert parity_loss(logp, mask).item() > 1.0
+
+    def test_parity_gradient_flows(self, rng):
+        logits = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        mask = np.array([True, False] * 3)
+        parity_loss(logits.log_softmax(axis=-1), mask).backward()
+        assert logits.grad is not None
+
+    def test_statistical_parity_gap(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        mask = np.array([True, False])
+        assert statistical_parity_gap(probs, mask) == pytest.approx(2.0)
+
+    def test_gap_requires_2d(self):
+        with pytest.raises(ValueError):
+            statistical_parity_gap(np.zeros(3), np.array([True, False, True]))
+
+
+class TestSelfPaced:
+    def _state(self, **kwargs):
+        defaults = dict(num_nodes=6, num_classes=2,
+                        labeled_nodes=np.array([0, 1]),
+                        labeled_classes=np.array([0, 1]),
+                        lambda_init=0.5, lambda_growth=2.0)
+        defaults.update(kwargs)
+        return SelfPacedState(**defaults)
+
+    def test_initialisation_from_labels(self):
+        state = self._state()
+        assert state.v[0, 0] == 1 and state.v[0, 1] == 0
+        assert state.v[1, 1] == 1 and state.v[1, 0] == 0
+        assert state.v[2:].sum() == 0
+
+    def test_eq14_threshold(self):
+        state = self._state()
+        # Node 2: -log P = 0.3 < 0.5 -> admitted; node 3: 0.9 -> not.
+        logp = np.full((6, 2), -5.0)
+        logp[2, 0] = -0.3
+        logp[3, 0] = -0.9
+        state.update(logp)
+        assert state.v[2, 0] == 1
+        assert state.v[3, 0] == 0
+
+    def test_ground_truth_pinned(self):
+        state = self._state()
+        logp = np.full((6, 2), -10.0)  # model is confident about nothing
+        state.update(logp)
+        assert state.v[0, 0] == 1
+        assert state.v[1, 1] == 1
+
+    def test_ground_truth_wrong_class_cleared(self):
+        state = self._state()
+        logp = np.zeros((6, 2))  # -log P = 0 < lambda: admits everything
+        state.update(logp)
+        # Node 0 is ground-truth class 0; its class-1 flag must be reset.
+        assert state.v[0, 1] == 0
+
+    def test_lambda_growth_admits_more(self):
+        state = self._state()
+        logp = np.full((6, 2), -0.8)
+        state.update(logp)
+        before = state.num_selected()
+        state.augment_lambda()  # 0.5 -> 1.0; now 0.8 < 1.0 admits all
+        state.update(logp)
+        assert state.num_selected() > before
+
+    def test_pseudo_labels_extend_ground_truth(self):
+        state = self._state()
+        logp = np.full((6, 2), -5.0)
+        logp[4, 1] = -0.1  # confident: node 4 is class 1
+        state.update(logp)
+        nodes, classes = state.pseudo_labels(logp)
+        assert 4 in nodes.tolist()
+        idx = nodes.tolist().index(4)
+        assert classes[idx] == 1
+
+    def test_pseudo_labels_never_override_ground_truth(self):
+        state = self._state()
+        logp = np.zeros((6, 2))
+        state.update(logp)
+        nodes, classes = state.pseudo_labels(logp)
+        pairs = dict(zip(nodes.tolist(), classes.tolist()))
+        assert pairs[0] == 0 and pairs[1] == 1
+
+    def test_selected_pairs_shapes(self):
+        state = self._state()
+        nodes, classes = state.selected_pairs()
+        assert nodes.shape == classes.shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._state(num_classes=1)
+        with pytest.raises(ValueError):
+            self._state(lambda_init=0.0)
+        with pytest.raises(ValueError):
+            self._state(labeled_nodes=np.array([], dtype=int),
+                        labeled_classes=np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            self._state(labeled_classes=np.array([0, 5]))
+
+    def test_update_shape_check(self):
+        state = self._state()
+        with pytest.raises(ValueError):
+            state.update(np.zeros((3, 2)))
+
+
+class TestFairDiscriminator:
+    @pytest.fixture
+    def disc_setup(self, rng):
+        features = rng.normal(size=(20, 8))
+        features[:10, 0] += 3.0  # class-0 signal
+        protected = np.zeros(20, dtype=bool)
+        protected[[0, 1, 10, 11]] = True
+        labels = np.array([0] * 10 + [1] * 10)
+        return features, protected, labels
+
+    def test_training_reduces_loss(self, disc_setup, rng):
+        features, protected, labels = disc_setup
+        disc = FairDiscriminator(features, 2, protected, rng, lr=0.05)
+        nodes = np.arange(20)
+        for _ in range(30):
+            record = disc.train_step(nodes, labels, nodes, labels)
+        first = disc.loss_history[0]["total"]
+        assert record["total"] < first
+
+    def test_learns_separable_labels(self, disc_setup, rng):
+        features, protected, labels = disc_setup
+        disc = FairDiscriminator(features, 2, protected, rng, lr=0.05)
+        nodes = np.arange(20)
+        for _ in range(60):
+            disc.train_step(nodes, labels, nodes, labels)
+        assert (disc.predict() == labels).mean() > 0.9
+
+    def test_probabilities_normalised(self, disc_setup, rng):
+        features, protected, _ = disc_setup
+        disc = FairDiscriminator(features, 2, protected, rng)
+        np.testing.assert_allclose(disc.predict_proba().sum(axis=1), 1.0)
+
+    def test_gamma_zero_disables_parity(self, disc_setup, rng):
+        features, protected, labels = disc_setup
+        disc = FairDiscriminator(features, 2, protected, rng, gamma=0.0)
+        record = disc.train_step(np.arange(20), labels,
+                                 np.arange(20), labels)
+        assert record["J_F"] == 0.0
+
+    def test_parity_regularizer_reduces_gap(self, disc_setup, rng):
+        """With gamma >> 0 the group parity gap should end lower than
+        with gamma = 0 (trained identically otherwise)."""
+        features, protected, labels = disc_setup
+
+        def run(gamma, seed):
+            disc = FairDiscriminator(features, 2, protected,
+                                     np.random.default_rng(seed),
+                                     lr=0.05, gamma=gamma)
+            nodes = np.arange(20)
+            for _ in range(40):
+                disc.train_step(nodes, labels, nodes, labels)
+            return statistical_parity_gap(disc.predict_proba(), protected)
+
+        assert run(5.0, 3) <= run(0.0, 3) + 0.05
+
+    def test_feature_validation(self, rng):
+        with pytest.raises(ValueError):
+            FairDiscriminator(np.zeros(5), 2, np.zeros(5, dtype=bool), rng)
+
+    def test_mask_validation(self, rng):
+        with pytest.raises(ValueError):
+            FairDiscriminator(np.zeros((5, 3)), 2,
+                              np.zeros(4, dtype=bool), rng)

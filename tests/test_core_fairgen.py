@@ -1,0 +1,160 @@
+"""End-to-end tests for the FairGen model (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FairGen, FairGenConfig, make_fairgen_variant
+from repro.graph import planted_protected_graph
+
+
+SMALL_CONFIG = FairGenConfig(
+    self_paced_cycles=3, walks_per_cycle=24, generator_steps_per_cycle=2,
+    generator_batch=12, model_dim=16, num_layers=1, walk_length=6,
+    feature_dim=32, batch_iterations=8, batch_size=64,
+    discriminator_lr=0.05,
+    generation_walk_factor=10)
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    rng = np.random.default_rng(42)
+    graph, labels, protected = planted_protected_graph(
+        50, 12, rng, p_in=0.3, p_out=0.03, num_classes=2,
+        protected_as_class=True)
+    nodes, classes = [], []
+    for cls in range(3):
+        members = np.flatnonzero(labels == cls)
+        nodes.extend(members[:2].tolist())
+        classes.extend([cls, cls])
+    model = FairGen(SMALL_CONFIG)
+    model.fit(graph, rng, labeled_nodes=np.array(nodes),
+              labeled_classes=np.array(classes), protected_mask=protected)
+    return model, graph, labels, protected
+
+
+class TestFit:
+    def test_requires_labels(self, rng, labeled_community_graph):
+        graph, _, _ = labeled_community_graph
+        with pytest.raises(ValueError):
+            FairGen(SMALL_CONFIG).fit(graph, rng)
+
+    def test_history_length_matches_cycles(self, fitted_model):
+        model, *_ = fitted_model
+        assert len(model.history) == SMALL_CONFIG.self_paced_cycles
+
+    def test_lambda_grows_each_cycle(self, fitted_model):
+        model, *_ = fitted_model
+        lambdas = [h["lambda"] for h in model.history]
+        assert all(b > a for a, b in zip(lambdas, lambdas[1:]))
+
+    def test_history_records_all_losses(self, fitted_model):
+        model, *_ = fitted_model
+        for key in ("generator_loss", "disc_J_P", "disc_J_L", "disc_J_F",
+                    "num_pseudo_labels"):
+            assert key in model.history[0]
+
+    def test_components_initialised(self, fitted_model):
+        model, *_ = fitted_model
+        assert model.generator is not None
+        assert model.discriminator is not None
+        assert model.sampler is not None
+        assert model.self_paced is not None
+
+    def test_without_spl_runs_single_cycle(self, rng):
+        graph, labels, protected = planted_protected_graph(
+            40, 10, rng, p_in=0.3, p_out=0.03)
+        nodes = np.array([0, 41])
+        classes = np.array([0, 1])
+        model = FairGen(SMALL_CONFIG.variant(use_self_paced=False,
+                                             self_paced_cycles=3))
+        model.fit(graph, rng, labeled_nodes=nodes, labeled_classes=classes,
+                  protected_mask=protected, num_classes=2)
+        assert len(model.history) == 1
+        assert model.history[0]["num_pseudo_labels"] == 0
+
+    def test_explicit_features_used(self, rng):
+        graph, labels, protected = planted_protected_graph(
+            40, 10, rng, p_in=0.3, p_out=0.03)
+        features = rng.normal(size=(graph.num_nodes, 4))
+        model = FairGen(SMALL_CONFIG)
+        model.fit(graph, rng, labeled_nodes=np.array([0, 41]),
+                  labeled_classes=np.array([0, 1]),
+                  protected_mask=protected, num_classes=2,
+                  features=features)
+        assert model.features is features
+
+
+class TestGenerate:
+    def test_same_size_as_input(self, fitted_model, rng):
+        model, graph, *_ = fitted_model
+        out = model.generate(rng)
+        assert out.num_nodes == graph.num_nodes
+        assert out.num_edges == graph.num_edges
+
+    def test_every_node_connected(self, fitted_model, rng):
+        """Assembly criterion 2: min degree 1 (for walk-covered nodes)."""
+        model, graph, *_ = fitted_model
+        out = model.generate(rng)
+        # With the generation walk budget, isolated nodes should be rare.
+        assert (out.degrees == 0).mean() < 0.15
+
+    def test_protected_volume_preserved(self, fitted_model, rng):
+        """Assembly criterion 1: protected volume within 50% of original."""
+        model, graph, _, protected = fitted_model
+        out = model.generate(rng)
+        anchors = np.flatnonzero(protected)
+        vol_orig = graph.volume(anchors)
+        vol_gen = out.volume(anchors)
+        assert vol_gen > 0.5 * vol_orig
+
+    def test_generate_before_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            FairGen(SMALL_CONFIG).generate(rng)
+
+    def test_generate_walks_range(self, fitted_model, rng):
+        model, graph, *_ = fitted_model
+        walks = model.generate_walks(30, rng)
+        assert walks.shape == (30, SMALL_CONFIG.walk_length)
+        assert walks.min() >= 0 and walks.max() < graph.num_nodes
+
+    def test_reconstruction_loss_finite(self, fitted_model, rng):
+        model, graph, *_ = fitted_model
+        from repro.graph import sample_walks
+
+        walks = sample_walks(graph, 8, SMALL_CONFIG.walk_length, rng)
+        loss = model.reconstruction_loss(walks)
+        assert np.isfinite(loss) and loss > 0
+
+
+class TestVariants:
+    def test_factory_names(self):
+        assert make_fairgen_variant("full").name == "FairGen"
+        assert make_fairgen_variant("no-sampling").name == "FairGen-R"
+        assert make_fairgen_variant("no-spl").name == "FairGen-w/o-SPL"
+        assert make_fairgen_variant("no-parity").name == "FairGen-w/o-Parity"
+
+    def test_factory_flags(self):
+        assert not make_fairgen_variant(
+            "no-sampling").config.use_label_informed_sampling
+        assert not make_fairgen_variant("no-spl").config.use_self_paced
+        assert not make_fairgen_variant("no-parity").config.use_parity
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            make_fairgen_variant("bogus")
+
+    def test_variant_respects_base_config(self):
+        model = make_fairgen_variant("no-parity", SMALL_CONFIG)
+        assert model.config.self_paced_cycles == SMALL_CONFIG.self_paced_cycles
+        assert not model.config.use_parity
+
+    def test_fairgen_r_uses_general_sampling_only(self, rng):
+        graph, labels, protected = planted_protected_graph(
+            40, 10, rng, p_in=0.3, p_out=0.03)
+        model = make_fairgen_variant("no-sampling", SMALL_CONFIG)
+        model.fit(graph, rng, labeled_nodes=np.array([0, 41]),
+                  labeled_classes=np.array([0, 1]),
+                  protected_mask=protected, num_classes=2)
+        assert model.sampler.sampling_ratio == 1.0

@@ -1,0 +1,232 @@
+"""Tests for the datasets and the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (Dataset, dataset_names, dataset_statistics,
+                        labeled_dataset_names, load_dataset)
+from repro.eval import (LogisticRegression, accuracy, augment_graph,
+                        augmentation_study, cross_validated_accuracy,
+                        k_fold_indices, mean_discrepancy,
+                        overall_discrepancy, protected_discrepancy,
+                        relative_discrepancy)
+from repro.graph import Graph, erdos_renyi
+
+
+class TestDatasets:
+    def test_seven_datasets(self):
+        assert len(dataset_names()) == 7
+
+    def test_labeled_subset(self):
+        assert labeled_dataset_names() == ["BLOG", "FLICKR", "ACM"]
+
+    @pytest.mark.parametrize("name", ["EMAIL", "FB", "BLOG", "FLICKR",
+                                      "GNU", "CA", "ACM"])
+    def test_loadable_and_nonempty(self, name):
+        data = load_dataset(name)
+        assert data.graph.num_nodes > 50
+        assert data.graph.num_edges > 50
+
+    def test_deterministic(self):
+        a = load_dataset("BLOG")
+        b = load_dataset("BLOG")
+        assert a.graph == b.graph
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_case_insensitive(self):
+        assert load_dataset("blog").name == "BLOG"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("IMAGINARY")
+
+    @pytest.mark.parametrize("name,classes", [("BLOG", 6), ("FLICKR", 9),
+                                              ("ACM", 9)])
+    def test_class_counts_match_table1(self, name, classes):
+        assert load_dataset(name).num_classes == classes
+
+    def test_labeled_have_protected_minority(self):
+        for name in labeled_dataset_names():
+            data = load_dataset(name)
+            frac = data.protected_mask.mean()
+            assert 0.0 < frac < 0.15
+
+    def test_unlabeled_have_no_labels(self):
+        data = load_dataset("EMAIL")
+        assert not data.has_labels
+        assert data.protected_mask is None
+
+    def test_statistics_row(self):
+        row = dataset_statistics(load_dataset("ACM"))
+        assert row["name"] == "ACM"
+        assert row["classes"] == 9
+        assert row["protected"] > 0
+
+    def test_few_shot_covers_every_class(self, rng):
+        data = load_dataset("BLOG")
+        nodes, classes = data.labeled_few_shot(2, rng)
+        assert set(classes.tolist()) == set(range(data.num_classes))
+        np.testing.assert_array_equal(data.labels[nodes], classes)
+
+    def test_few_shot_on_unlabeled_rejected(self, rng):
+        with pytest.raises(ValueError):
+            load_dataset("FB").labeled_few_shot(2, rng)
+
+
+class TestRelativeDiscrepancy:
+    def test_identity_is_zero(self):
+        assert relative_discrepancy(3.0, 3.0) == 0.0
+
+    def test_formula(self):
+        assert relative_discrepancy(4.0, 3.0) == pytest.approx(0.25)
+
+    def test_zero_original_matching(self):
+        assert relative_discrepancy(0.0, 0.0) == 0.0
+
+    def test_zero_original_mismatch_inf(self):
+        assert relative_discrepancy(0.0, 1.0) == float("inf")
+
+    def test_nan_propagates(self):
+        assert np.isnan(relative_discrepancy(float("nan"), 1.0))
+
+
+class TestGraphDiscrepancy:
+    def test_same_graph_all_zero(self, two_cliques_graph):
+        values = overall_discrepancy(two_cliques_graph, two_cliques_graph)
+        finite = {k: v for k, v in values.items() if np.isfinite(v)}
+        assert all(v == pytest.approx(0.0) for v in finite.values())
+
+    def test_nine_metrics_reported(self, two_cliques_graph, rng):
+        other = erdos_renyi(8, 0.4, rng)
+        values = overall_discrepancy(two_cliques_graph, other)
+        assert len(values) == 9
+
+    def test_protected_uses_ego_networks(self, two_cliques_graph):
+        protected = np.zeros(8, dtype=bool)
+        protected[0] = True
+        values = protected_discrepancy(two_cliques_graph, two_cliques_graph,
+                                       protected)
+        finite = {k: v for k, v in values.items() if np.isfinite(v)}
+        assert all(v == pytest.approx(0.0) for v in finite.values())
+
+    def test_empty_protected_rejected(self, two_cliques_graph):
+        with pytest.raises(ValueError):
+            protected_discrepancy(two_cliques_graph, two_cliques_graph,
+                                  np.zeros(8, dtype=bool))
+
+    def test_mean_discrepancy_ignores_inf(self):
+        assert mean_discrepancy({"a": 1.0, "b": float("inf"),
+                                 "c": 3.0}) == pytest.approx(2.0)
+
+    def test_mean_discrepancy_all_inf_nan(self):
+        assert np.isnan(mean_discrepancy({"a": float("inf")}))
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(int)
+        clf = LogisticRegression(2).fit(x, y)
+        assert accuracy(clf.predict(x), y) > 0.95
+
+    def test_multiclass(self, rng):
+        centers = np.array([[0, 0], [5, 0], [0, 5]])
+        x = np.vstack([rng.normal(size=(30, 2)) + c for c in centers])
+        y = np.repeat(np.arange(3), 30)
+        clf = LogisticRegression(3).fit(x, y)
+        assert accuracy(clf.predict(x), y) > 0.95
+
+    def test_proba_normalised(self, rng):
+        x = rng.normal(size=(10, 3))
+        y = rng.integers(0, 2, 10)
+        clf = LogisticRegression(2).fit(x, y)
+        np.testing.assert_allclose(clf.predict_proba(x).sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression(2).predict(np.zeros((2, 2)))
+
+    def test_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            LogisticRegression(2).fit(np.zeros(3), np.zeros(3))
+
+    def test_single_class_config_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(1)
+
+
+class TestKFold:
+    def test_partitions_everything(self, rng):
+        splits = k_fold_indices(20, 4, rng)
+        all_test = np.concatenate([t for _, t in splits])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_train_test_disjoint(self, rng):
+        for train, test in k_fold_indices(15, 3, rng):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            k_fold_indices(5, 1, rng)
+        with pytest.raises(ValueError):
+            k_fold_indices(5, 6, rng)
+
+    def test_cross_validated_accuracy_range(self, rng):
+        x = rng.normal(size=(60, 4))
+        y = (x[:, 0] > 0).astype(int)
+        mean, std = cross_validated_accuracy(x, y, 2, rng, k=5)
+        assert 0.5 < mean <= 1.0
+        assert std >= 0.0
+
+
+class TestAugmentation:
+    def test_augment_budget(self, rng):
+        original = erdos_renyi(40, 0.1, rng)
+        other = erdos_renyi(40, 0.1, np.random.default_rng(99))
+        augmented = augment_graph(original, other, fraction=0.05)
+        budget = max(1, int(round(0.05 * original.num_edges)))
+        added = augmented.num_edges - original.num_edges
+        assert 0 < added <= budget
+
+    def test_augment_keeps_original_edges(self, rng):
+        original = erdos_renyi(30, 0.1, rng)
+        other = erdos_renyi(30, 0.1, np.random.default_rng(5))
+        augmented = augment_graph(original, other, fraction=0.1)
+        for u, v in original.edges():
+            assert augmented.has_edge(int(u), int(v))
+
+    def test_no_novel_edges_is_noop(self, rng):
+        g = erdos_renyi(20, 0.2, rng)
+        assert augment_graph(g, g, fraction=0.05) == g
+
+    def test_invalid_fraction(self, rng):
+        g = erdos_renyi(10, 0.2, rng)
+        with pytest.raises(ValueError):
+            augment_graph(g, g, fraction=0.0)
+
+    def test_study_requires_fitted_model(self, rng):
+        from repro.models import ERModel
+
+        g = erdos_renyi(20, 0.2, rng)
+        with pytest.raises(ValueError):
+            augmentation_study(g, np.zeros(20, dtype=int), 2,
+                               ERModel(), rng)
+
+    def test_study_end_to_end(self, rng):
+        """Full Figure 6 pipeline with a cheap model on a tiny graph."""
+        from repro.data import load_dataset
+        from repro.embedding import Node2VecConfig
+        from repro.models import ERModel
+
+        data = load_dataset("BLOG")
+        model = ERModel().fit(data.graph, rng)
+        result = augmentation_study(
+            data.graph, data.labels, data.num_classes, model, rng,
+            embed_config=Node2VecConfig(dim=16, epochs=1, walks_per_node=2),
+            folds=3)
+        assert 0.0 <= result.baseline_accuracy <= 1.0
+        assert 0.0 <= result.augmented_accuracy <= 1.0
+        assert result.model_name == "ER"
+        assert np.isfinite(result.improvement)

@@ -1,0 +1,170 @@
+"""Tests for SGNS word2vec, node2vec, t-SNE and separability scores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import (Node2VecConfig, SkipGramModel,
+                             centroid_separability, node2vec_embedding,
+                             pairwise_sq_distances, silhouette_score, tsne,
+                             unigram_table, walks_to_pairs)
+from repro.graph import Graph, planted_protected_graph, sample_walks
+
+
+class TestWalksToPairs:
+    def test_window_one(self):
+        walks = np.array([[0, 1, 2]])
+        pairs = walks_to_pairs(walks, window=1)
+        as_set = set(map(tuple, pairs.tolist()))
+        assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_window_two_includes_distance_two(self):
+        walks = np.array([[0, 1, 2]])
+        pairs = set(map(tuple, walks_to_pairs(walks, window=2).tolist()))
+        assert (0, 2) in pairs and (2, 0) in pairs
+
+    def test_window_larger_than_walk(self):
+        pairs = walks_to_pairs(np.array([[0, 1]]), window=10)
+        assert len(pairs) == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            walks_to_pairs(np.array([[0, 1]]), window=0)
+
+    def test_too_short_walks(self):
+        with pytest.raises(ValueError):
+            walks_to_pairs(np.array([[0]]), window=1)
+
+
+class TestUnigramTable:
+    def test_sums_to_one(self):
+        walks = np.array([[0, 1, 1, 2]])
+        p = unigram_table(walks, 4)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_smoothing_flattens(self):
+        walks = np.array([[0] * 99 + [1]])
+        p_flat = unigram_table(walks, 2, power=0.5)
+        p_raw = unigram_table(walks, 2, power=1.0)
+        assert p_flat[1] > p_raw[1]
+
+    def test_unseen_nodes_tiny_mass(self):
+        p = unigram_table(np.array([[0, 1]]), 5)
+        assert (p[2:] < p[0]).all()
+
+
+class TestSkipGram:
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            SkipGramModel(0, 8, rng)
+
+    def test_training_reduces_loss(self, two_cliques_graph, rng):
+        walks = sample_walks(two_cliques_graph, 200, 8, rng)
+        model = SkipGramModel(8, 16, rng)
+        history = model.train(walks, window=2, epochs=5, lr=0.1)
+        assert history[-1] < history[0]
+
+    def test_clique_members_closer_than_strangers(self, two_cliques_graph,
+                                                  rng):
+        walks = sample_walks(two_cliques_graph, 400, 8, rng)
+        model = SkipGramModel(8, 16, rng)
+        model.train(walks, window=2, epochs=8, lr=0.1)
+        v = model.vectors
+        same = np.linalg.norm(v[0] - v[1])
+        cross = np.linalg.norm(v[0] - v[6])
+        assert same < cross
+
+
+class TestNode2Vec:
+    def test_embedding_shape(self, two_cliques_graph, rng):
+        config = Node2VecConfig(dim=8, walks_per_node=3, epochs=1)
+        emb = node2vec_embedding(two_cliques_graph, config, rng)
+        assert emb.shape == (8, 8)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Node2VecConfig(dim=0)
+
+    def test_all_nodes_covered(self, rng):
+        """Even an isolated-ish node gets a non-zero embedding update."""
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        emb = node2vec_embedding(g, Node2VecConfig(dim=4, epochs=1), rng)
+        assert np.abs(emb).sum(axis=1).min() > 0
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self, rng):
+        x = rng.normal(size=(5, 3))
+        d = pairwise_sq_distances(x)
+        manual = ((x[:, None] - x[None, :]) ** 2).sum(-1)
+        np.testing.assert_allclose(d, manual, atol=1e-10)
+
+    def test_diagonal_zero(self, rng):
+        d = pairwise_sq_distances(rng.normal(size=(4, 2)))
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+
+class TestTSNE:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(30, 10))
+        y = tsne(x, dim=2, iterations=50, rng=rng)
+        assert y.shape == (30, 2)
+
+    def test_too_few_points(self, rng):
+        with pytest.raises(ValueError):
+            tsne(rng.normal(size=(2, 4)))
+
+    def test_separated_clusters_stay_separated(self, rng):
+        """Two well-separated Gaussian blobs must stay separable in 2-D."""
+        a = rng.normal(size=(20, 8))
+        b = rng.normal(size=(20, 8)) + 30.0
+        y = tsne(np.vstack([a, b]), iterations=150, rng=rng)
+        labels = np.array([0] * 20 + [1] * 20)
+        assert centroid_separability(y, labels == 1) > 0.9
+
+
+class TestSilhouette:
+    def test_perfectly_separated(self):
+        points = np.array([[0.0, 0], [0.1, 0], [10, 0], [10.1, 0]])
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_mixed_groups_near_zero(self, rng):
+        points = rng.normal(size=(60, 2))
+        labels = rng.integers(0, 2, size=60)
+        assert abs(silhouette_score(points, labels)) < 0.2
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(4))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(3))
+
+    def test_singleton_group_contributes_zero(self):
+        points = np.array([[0.0, 0], [1, 0], [2, 0]])
+        labels = np.array([0, 0, 1])
+        score = silhouette_score(points, labels)
+        assert np.isfinite(score)
+
+
+class TestCentroidSeparability:
+    def test_separated(self):
+        pts = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 10])
+        mask = np.array([False] * 5 + [True] * 5)
+        assert centroid_separability(pts, mask) == 1.0
+
+    def test_degenerate_groups_rejected(self):
+        with pytest.raises(ValueError):
+            centroid_separability(np.zeros((3, 2)),
+                                  np.array([True, True, True]))
+
+    def test_protected_cluster_detected_after_embedding(self, rng):
+        """End-to-end: planted protected block is separable via node2vec."""
+        graph, _, protected = planted_protected_graph(
+            60, 15, rng, p_in=0.4, p_out=0.01, protected_as_class=True)
+        emb = node2vec_embedding(
+            graph, Node2VecConfig(dim=16, epochs=4, walks_per_node=8), rng)
+        assert centroid_separability(emb, protected) > 0.75

@@ -1,0 +1,173 @@
+"""Tests for the nine Table II metrics, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import Graph, connected_components, largest_component_nodes
+from repro.graph import metrics as gm
+
+
+@pytest.fixture
+def random_graph(rng):
+    from repro.graph import erdos_renyi
+
+    return erdos_renyi(60, 0.08, rng)
+
+
+class TestAverageDegree:
+    def test_triangle(self, triangle_graph):
+        assert gm.average_degree(triangle_graph) == 2.0
+
+    def test_empty(self):
+        assert gm.average_degree(Graph.from_edges(0, [])) == 0.0
+
+    def test_matches_networkx(self, random_graph):
+        nxg = random_graph.to_networkx()
+        expected = 2 * nxg.number_of_edges() / nxg.number_of_nodes()
+        assert gm.average_degree(random_graph) == pytest.approx(expected)
+
+
+class TestComponents:
+    def test_labels_partition(self, disconnected_graph):
+        labels = connected_components(disconnected_graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[3] != labels[0]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_lcc_size(self, disconnected_graph):
+        assert gm.largest_connected_component(disconnected_graph) == 3.0
+
+    def test_ncc(self, disconnected_graph):
+        assert gm.number_of_connected_components(disconnected_graph) == 3.0
+
+    def test_largest_component_nodes(self, disconnected_graph):
+        np.testing.assert_array_equal(
+            largest_component_nodes(disconnected_graph), [0, 1, 2])
+
+    def test_matches_networkx(self, random_graph):
+        nxg = random_graph.to_networkx()
+        assert gm.number_of_connected_components(random_graph) == \
+            nx.number_connected_components(nxg)
+        assert gm.largest_connected_component(random_graph) == \
+            len(max(nx.connected_components(nxg), key=len))
+
+
+class TestTriangleCount:
+    def test_single_triangle(self, triangle_graph):
+        assert gm.triangle_count(triangle_graph) == 1.0
+
+    def test_path_has_none(self, path_graph):
+        assert gm.triangle_count(path_graph) == 0.0
+
+    def test_k4(self):
+        k4 = Graph.from_edges(4, [(a, b) for a in range(4)
+                                  for b in range(a + 1, 4)])
+        assert gm.triangle_count(k4) == 4.0
+
+    def test_matches_networkx(self, random_graph):
+        nxg = random_graph.to_networkx()
+        expected = sum(nx.triangles(nxg).values()) / 3
+        assert gm.triangle_count(random_graph) == pytest.approx(expected)
+
+
+class TestPowerLawExponent:
+    def test_uniform_degrees_infinite(self, triangle_graph):
+        assert gm.power_law_exponent(triangle_graph) == float("inf")
+
+    def test_formula(self):
+        star = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        deg = np.array([3.0, 1.0, 1.0, 1.0])
+        expected = 1.0 + 4 / np.log(deg / 1.0).sum()
+        assert gm.power_law_exponent(star) == pytest.approx(expected)
+
+    def test_excludes_isolated(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (0, 3)])
+        star = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert gm.power_law_exponent(g) == pytest.approx(
+            gm.power_law_exponent(star))
+
+    def test_ba_exponent_in_plausible_range(self, rng):
+        from repro.graph import barabasi_albert
+
+        g = barabasi_albert(400, 3, rng)
+        ple = gm.power_law_exponent(g)
+        assert 1.5 < ple < 3.5
+
+
+class TestGini:
+    def test_uniform_is_zero(self, triangle_graph):
+        assert gm.gini_coefficient(triangle_graph) == pytest.approx(0.0)
+
+    def test_star_positive(self):
+        star = Graph.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert gm.gini_coefficient(star) > 0.3
+
+    def test_bounded(self, random_graph):
+        g = gm.gini_coefficient(random_graph)
+        assert 0.0 <= g <= 1.0
+
+    def test_empty(self):
+        assert gm.gini_coefficient(Graph.from_edges(0, [])) == 0.0
+
+
+class TestEDE:
+    def test_regular_graph_is_one(self):
+        cycle = Graph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert gm.edge_distribution_entropy(cycle) == pytest.approx(1.0)
+
+    def test_star_below_one(self):
+        star = Graph.from_edges(6, [(0, i) for i in range(1, 6)])
+        assert gm.edge_distribution_entropy(star) < 1.0
+
+    def test_empty(self):
+        assert gm.edge_distribution_entropy(Graph.from_edges(3, [])) == 0.0
+
+
+class TestASPL:
+    def test_path_graph(self, path_graph):
+        nxg = path_graph.to_networkx()
+        expected = nx.average_shortest_path_length(nxg)
+        assert gm.average_shortest_path_length(path_graph) == \
+            pytest.approx(expected)
+
+    def test_disconnected_uses_reachable_pairs(self, disconnected_graph):
+        val = gm.average_shortest_path_length(disconnected_graph)
+        assert np.isfinite(val)
+        assert val == pytest.approx(1.0)  # triangle + edge: all dist 1
+
+    def test_single_node(self):
+        assert gm.average_shortest_path_length(Graph.from_edges(1, [])) == 0.0
+
+    def test_sampled_close_to_exact(self, random_graph, rng):
+        exact = gm.average_shortest_path_length(random_graph)
+        sampled = gm.average_shortest_path_length(random_graph,
+                                                  sample_size=40, rng=rng)
+        assert sampled == pytest.approx(exact, rel=0.15)
+
+
+class TestClusteringCoefficient:
+    def test_triangle(self, triangle_graph):
+        assert gm.clustering_coefficient(triangle_graph) == 1.0
+
+    def test_path(self, path_graph):
+        assert gm.clustering_coefficient(path_graph) == 0.0
+
+    def test_matches_networkx(self, random_graph):
+        nxg = random_graph.to_networkx()
+        expected = nx.average_clustering(nxg)
+        assert gm.clustering_coefficient(random_graph) == \
+            pytest.approx(expected)
+
+
+class TestAllMetrics:
+    def test_contains_all_nine(self, triangle_graph):
+        vals = gm.all_metrics(triangle_graph)
+        assert set(vals) == set(gm.METRIC_NAMES)
+
+    def test_values_are_floats(self, two_cliques_graph):
+        for name, value in gm.all_metrics(two_cliques_graph).items():
+            assert isinstance(value, float), name

@@ -1,0 +1,232 @@
+"""Tests for random walks and the diffusion-core machinery (Def. 1 /
+Lemma 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (Graph, diffusion_core, escape_probability,
+                         indicator_vector, lemma21_bound, node2vec_walk,
+                         sample_walks, stay_probability,
+                         uniform_random_walk, walks_to_edge_counts)
+
+
+def _walk_is_valid(graph: Graph, walk: np.ndarray) -> bool:
+    """Consecutive nodes must be adjacent (or equal, for lazy stalls)."""
+    for a, b in zip(walk[:-1], walk[1:]):
+        if a != b and not graph.has_edge(int(a), int(b)):
+            return False
+    return True
+
+
+class TestUniformWalk:
+    def test_walk_length_and_start(self, two_cliques_graph, rng):
+        walk = uniform_random_walk(two_cliques_graph, 0, 7, rng)
+        assert walk.shape == (7,)
+        assert walk[0] == 0
+
+    def test_walk_follows_edges(self, two_cliques_graph, rng):
+        for _ in range(20):
+            walk = uniform_random_walk(two_cliques_graph,
+                                       int(rng.integers(8)), 10, rng)
+            assert _walk_is_valid(two_cliques_graph, walk)
+
+    def test_isolated_node_stays(self, rng):
+        g = Graph.from_edges(3, [(0, 1)])
+        walk = uniform_random_walk(g, 2, 5, rng)
+        np.testing.assert_array_equal(walk, [2, 2, 2, 2, 2])
+
+
+class TestNode2VecWalk:
+    def test_follows_edges(self, two_cliques_graph, rng):
+        for _ in range(20):
+            walk = node2vec_walk(two_cliques_graph, 0, 10, rng,
+                                 p=0.5, q=2.0)
+            assert _walk_is_valid(two_cliques_graph, walk)
+
+    def test_invalid_pq_rejected(self, triangle_graph, rng):
+        with pytest.raises(ValueError):
+            node2vec_walk(triangle_graph, 0, 5, rng, p=0.0)
+
+    def test_length_one(self, triangle_graph, rng):
+        walk = node2vec_walk(triangle_graph, 1, 1, rng)
+        np.testing.assert_array_equal(walk, [1])
+
+    def test_low_p_returns_often(self, path_graph, rng):
+        """Tiny p makes the walk oscillate back to the previous node."""
+        returns = 0
+        total = 0
+        for _ in range(200):
+            walk = node2vec_walk(path_graph, 2, 4, rng, p=1e-4, q=1.0)
+            if walk[2] == walk[0]:
+                returns += 1
+            total += 1
+        assert returns / total > 0.7
+
+    def test_high_p_explores(self, rng):
+        """Huge p (never return) on a cycle keeps moving forward."""
+        cycle = Graph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        for _ in range(50):
+            walk = node2vec_walk(cycle, 0, 4, rng, p=1e6, q=1.0)
+            assert walk[2] != walk[0]
+
+
+class TestSampleWalks:
+    def test_shape(self, two_cliques_graph, rng):
+        walks = sample_walks(two_cliques_graph, 12, 6, rng)
+        assert walks.shape == (12, 6)
+
+    def test_explicit_starts(self, two_cliques_graph, rng):
+        starts = np.array([1, 5, 7])
+        walks = sample_walks(two_cliques_graph, 3, 4, rng, starts=starts)
+        np.testing.assert_array_equal(walks[:, 0], starts)
+
+    def test_starts_length_mismatch(self, triangle_graph, rng):
+        with pytest.raises(ValueError):
+            sample_walks(triangle_graph, 3, 4, rng, starts=np.array([0]))
+
+    def test_zero_walks_rejected(self, triangle_graph, rng):
+        with pytest.raises(ValueError):
+            sample_walks(triangle_graph, 0, 4, rng)
+
+    def test_degree_weighted_starts(self, rng):
+        """A star's hub should start far more walks than each leaf."""
+        star = Graph.from_edges(5, [(0, i) for i in range(1, 5)])
+        walks = sample_walks(star, 400, 2, rng)
+        hub_fraction = (walks[:, 0] == 0).mean()
+        assert 0.35 < hub_fraction < 0.65  # hub has half the volume
+
+
+class TestWalksToEdgeCounts:
+    def test_counts_transitions(self):
+        walks = np.array([[0, 1, 2], [0, 1, 0]])
+        counts = walks_to_edge_counts(walks, 3)
+        assert counts[0, 1] == 3  # 0-1, 1-2 ... wait: 0-1 appears 3 times
+        assert counts[1, 2] == 1
+        assert counts[0, 2] == 0
+
+    def test_symmetric(self, two_cliques_graph, rng):
+        walks = sample_walks(two_cliques_graph, 10, 5, rng)
+        counts = walks_to_edge_counts(walks, 8)
+        assert (abs(counts - counts.T)).nnz == 0
+
+    def test_ignores_lazy_self_transitions(self):
+        walks = np.array([[2, 2, 2]])
+        counts = walks_to_edge_counts(walks, 3)
+        assert counts.nnz == 0
+
+
+class TestIndicatorVector:
+    def test_values(self):
+        chi = indicator_vector([0, 2], 4)
+        np.testing.assert_array_equal(chi, [1.0, 0.0, 1.0, 0.0])
+
+
+class TestEscapeProbability:
+    def test_zero_steps_no_escape(self, two_cliques_graph):
+        assert escape_probability(two_cliques_graph, [0, 1, 2, 3], 0, 0) == 0.0
+
+    def test_monotone_in_steps(self, two_cliques_graph):
+        s = [0, 1, 2, 3]
+        probs = [escape_probability(two_cliques_graph, s, 0, t)
+                 for t in range(6)]
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_start_outside_s_escapes_immediately(self, two_cliques_graph):
+        assert escape_probability(two_cliques_graph, [0, 1], 5, 3) == 1.0
+
+    def test_disconnected_set_never_escapes(self, disconnected_graph):
+        # Nodes {0,1,2} form a component: no walk can leave it.
+        assert escape_probability(disconnected_graph, [0, 1, 2], 0,
+                                  20) == pytest.approx(0.0, abs=1e-12)
+
+    def test_stay_probability_complement(self, two_cliques_graph):
+        s = [0, 1, 2, 3]
+        esc = escape_probability(two_cliques_graph, s, 1, 4)
+        stay = stay_probability(two_cliques_graph, s, 1, 4)
+        assert esc + stay == pytest.approx(1.0)
+
+    def test_negative_steps_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            escape_probability(triangle_graph, [0], 0, -1)
+
+
+class TestDiffusionCore:
+    def test_interior_nodes_in_core(self, two_cliques_graph):
+        """Clique nodes not on the bridge escape rarely -> in the core."""
+        core = diffusion_core(two_cliques_graph, [0, 1, 2, 3],
+                              delta=0.9, steps=3)
+        assert {0, 1, 2}.issubset(set(core.tolist()))
+
+    def test_core_subset_of_s(self, two_cliques_graph):
+        s = np.array([0, 1, 2, 3])
+        core = diffusion_core(two_cliques_graph, s, delta=0.5, steps=4)
+        assert set(core.tolist()).issubset(set(s.tolist()))
+
+    def test_delta_monotone(self, two_cliques_graph):
+        s = [0, 1, 2, 3]
+        small = diffusion_core(two_cliques_graph, s, delta=0.1, steps=3)
+        large = diffusion_core(two_cliques_graph, s, delta=0.9, steps=3)
+        assert set(small.tolist()).issubset(set(large.tolist()))
+
+    def test_invalid_delta(self, triangle_graph):
+        with pytest.raises(ValueError):
+            diffusion_core(triangle_graph, [0, 1], delta=0.0, steps=2)
+
+    def test_matches_escape_probability_definition(self, two_cliques_graph):
+        """Core membership must agree with Def. 1 computed per node."""
+        s = np.array([0, 1, 2, 3])
+        delta, steps = 0.7, 3
+        phi = two_cliques_graph.conductance(s)
+        core = set(diffusion_core(two_cliques_graph, s, delta, steps).tolist())
+        for x in s:
+            escapes = escape_probability(two_cliques_graph, s, int(x), steps)
+            assert (escapes < delta * phi) == (int(x) in core)
+
+
+class TestLemma21:
+    def test_bound_formula(self, two_cliques_graph):
+        s = [0, 1, 2, 3]
+        phi = two_cliques_graph.conductance(s)
+        bound = lemma21_bound(two_cliques_graph, s, delta=0.5, walk_length=4)
+        assert bound == pytest.approx(max(0.0, 1.0 - 4 * 0.5 * phi))
+
+    def test_bound_clipped_at_zero(self, triangle_graph):
+        assert lemma21_bound(triangle_graph, [0], delta=0.99,
+                             walk_length=100) == 0.0
+
+    def test_lemma_holds_empirically(self, rng):
+        """Monte-Carlo check: empirical stay-rate of lazy walks from a
+        diffusion-core node must meet the Lemma 2.1 lower bound."""
+        from repro.graph import planted_protected_graph
+
+        graph, _, protected = planted_protected_graph(
+            80, 20, rng, p_in=0.4, p_out=0.01, protected_as_class=True)
+        s = np.flatnonzero(protected)
+        delta, length = 0.5, 6
+        # The lemma's telescoping proof applies the Definition-1 bound at
+        # each individual step, so the core is computed at small t; the
+        # Monte-Carlo check then verifies the full T-length bound.
+        core = diffusion_core(graph, s, delta, steps=2)
+        if core.size == 0:
+            pytest.skip("degenerate sample: empty diffusion core")
+        bound = lemma21_bound(graph, s, delta, length)
+        start = int(core[0])
+        s_set = set(s.tolist())
+        trials = 400
+        stays = 0
+        m = graph.transition_matrix().toarray()
+        for _ in range(trials):
+            node = start
+            inside = True
+            for _ in range(length):
+                node = int(rng.choice(graph.num_nodes, p=m[:, node]))
+                if node not in s_set:
+                    inside = False
+                    break
+            stays += inside
+        empirical = stays / trials
+        # Allow Monte-Carlo slack of 3 standard errors.
+        slack = 3 * np.sqrt(bound * (1 - bound) / trials + 1e-9)
+        assert empirical >= bound - slack - 0.02

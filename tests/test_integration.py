@@ -1,0 +1,126 @@
+"""Cross-module integration tests: full paper pipelines at toy scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FairGen, FairGenConfig, make_fairgen_variant
+from repro.data import load_dataset
+from repro.embedding import Node2VecConfig, node2vec_embedding
+from repro.eval import (augmentation_study, mean_discrepancy,
+                        overall_discrepancy, protected_discrepancy)
+from repro.models import ERModel, TagGen
+
+
+TINY = FairGenConfig(
+    self_paced_cycles=3, walks_per_cycle=24, generator_steps_per_cycle=2,
+    generator_batch=12, model_dim=16, num_layers=1, walk_length=6,
+    feature_dim=32, batch_iterations=8, batch_size=64,
+    discriminator_lr=0.05,
+    generation_walk_factor=8)
+
+
+@pytest.fixture(scope="module")
+def blog_pipeline():
+    data = load_dataset("BLOG")
+    rng = np.random.default_rng(0)
+    nodes, classes = data.labeled_few_shot(3, rng)
+    model = FairGen(TINY)
+    model.fit(data.graph, rng, labeled_nodes=nodes, labeled_classes=classes,
+              protected_mask=data.protected_mask)
+    generated = model.generate(rng)
+    return data, model, generated
+
+
+class TestFullPipeline:
+    def test_generated_graph_same_shape(self, blog_pipeline):
+        data, _, generated = blog_pipeline
+        assert generated.num_nodes == data.graph.num_nodes
+        assert generated.num_edges == data.graph.num_edges
+
+    def test_overall_discrepancy_computable(self, blog_pipeline):
+        data, _, generated = blog_pipeline
+        values = overall_discrepancy(data.graph, generated, aspl_sample=50)
+        assert len(values) == 9
+        assert np.isfinite(mean_discrepancy(values))
+
+    def test_protected_discrepancy_computable(self, blog_pipeline):
+        data, _, generated = blog_pipeline
+        values = protected_discrepancy(data.graph, generated,
+                                       data.protected_mask, aspl_sample=50)
+        assert len(values) == 9
+
+    def test_average_degree_close(self, blog_pipeline):
+        """AD must match nearly exactly: same n and m by construction."""
+        data, _, generated = blog_pipeline
+        values = overall_discrepancy(data.graph, generated)
+        assert values["AD"] < 0.01
+
+    def test_pseudo_labels_grow_over_cycles(self, blog_pipeline):
+        _, model, _ = blog_pipeline
+        counts = [h["num_pseudo_labels"] for h in model.history]
+        assert counts[-1] >= 0
+        assert max(counts) > 0  # self-paced propagation actually fired
+
+    def test_discriminator_beats_chance_on_true_labels(self, blog_pipeline):
+        data, model, _ = blog_pipeline
+        predictions = model.discriminator.predict()
+        acc = (predictions == data.labels).mean()
+        assert acc > 1.0 / data.num_classes
+
+
+class TestVariantPipelines:
+    @pytest.mark.parametrize("variant", ["no-sampling", "no-spl",
+                                         "no-parity"])
+    def test_variant_runs_end_to_end(self, variant):
+        data = load_dataset("BLOG")
+        rng = np.random.default_rng(1)
+        nodes, classes = data.labeled_few_shot(2, rng)
+        model = make_fairgen_variant(variant, TINY)
+        model.fit(data.graph, rng, labeled_nodes=nodes,
+                  labeled_classes=classes,
+                  protected_mask=data.protected_mask)
+        generated = model.generate(rng)
+        assert generated.num_edges == data.graph.num_edges
+
+
+class TestBaselineComparison:
+    def test_er_and_taggen_comparable(self, rng):
+        """The Figure 4 harness logic: multiple models, one scoreboard."""
+        data = load_dataset("EMAIL")
+        results = {}
+        for model in (ERModel(),
+                      TagGen(epochs=2, walks_per_epoch=32, dim=16,
+                             num_layers=1, generation_walk_factor=8)):
+            fitted = model.fit(data.graph, rng)
+            generated = fitted.generate(rng)
+            values = overall_discrepancy(data.graph, generated,
+                                         aspl_sample=50)
+            results[model.name] = mean_discrepancy(values)
+        assert set(results) == {"ER", "TagGen"}
+        assert all(np.isfinite(v) for v in results.values())
+
+
+class TestAugmentationIntegration:
+    def test_fairgen_augmentation_study(self, blog_pipeline, rng):
+        data, model, _ = blog_pipeline
+        result = augmentation_study(
+            data.graph, data.labels, data.num_classes, model, rng,
+            embed_config=Node2VecConfig(dim=16, epochs=1, walks_per_node=2),
+            folds=3)
+        assert result.model_name == "FairGen"
+        assert 0.0 <= result.augmented_accuracy <= 1.0
+
+
+class TestEmbeddingVisualizationPath:
+    def test_tsne_on_generated_graph(self, blog_pipeline, rng):
+        """Figure 9 path: node2vec + t-SNE on a generated graph."""
+        from repro.embedding import centroid_separability, tsne
+
+        data, _, generated = blog_pipeline
+        emb = node2vec_embedding(
+            generated, Node2VecConfig(dim=16, epochs=1, walks_per_node=2),
+            rng)
+        low = tsne(emb[:80], iterations=60, rng=rng)
+        assert low.shape == (80, 2)

@@ -1,0 +1,119 @@
+"""Tests for the model interface and the Section II-D assembly routine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import Graph
+from repro.models import (BAModel, ERModel, GraphGenerativeModel,
+                          assemble_from_scores)
+
+
+def _score_matrix(n, entries):
+    """entries: list of (u, v, score)."""
+    rows, cols, vals = [], [], []
+    for u, v, s in entries:
+        rows += [u, v]
+        cols += [v, u]
+        vals += [s, s]
+    return sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+class TestInterface:
+    def test_generate_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            ERModel().generate(rng)
+
+    def test_is_fitted_flag(self, triangle_graph, rng):
+        model = ERModel()
+        assert not model.is_fitted
+        model.fit(triangle_graph, rng)
+        assert model.is_fitted
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            GraphGenerativeModel()
+
+
+class TestAssembleFromScores:
+    def test_selects_top_edges(self):
+        scores = _score_matrix(4, [(0, 1, 10.0), (1, 2, 5.0), (2, 3, 1.0)])
+        g = assemble_from_scores(scores, num_edges=2, min_degree=0)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 3)
+
+    def test_exact_edge_count(self):
+        entries = [(u, v, float(10 - u - v)) for u in range(5)
+                   for v in range(u + 1, 5)]
+        scores = _score_matrix(5, entries)
+        g = assemble_from_scores(scores, num_edges=4, min_degree=0)
+        assert g.num_edges == 4
+
+    def test_min_degree_guarantee(self):
+        """Node 3 has only a weak edge; min_degree=1 must still include it."""
+        scores = _score_matrix(4, [(0, 1, 10.0), (0, 2, 9.0), (1, 2, 8.0),
+                                   (2, 3, 0.1)])
+        g = assemble_from_scores(scores, num_edges=3, min_degree=1)
+        assert g.degree(3) >= 1
+
+    def test_without_min_degree_weak_node_dropped(self):
+        scores = _score_matrix(4, [(0, 1, 10.0), (0, 2, 9.0), (1, 2, 8.0),
+                                   (2, 3, 0.1)])
+        g = assemble_from_scores(scores, num_edges=3, min_degree=0)
+        assert g.degree(3) == 0
+
+    def test_protected_volume_criterion(self):
+        """Protected node 3's edges must be boosted to match its volume."""
+        entries = [(0, 1, 10.0), (0, 2, 9.0), (1, 2, 8.0),
+                   (3, 0, 1.0), (3, 1, 0.9), (3, 2, 0.8)]
+        scores = _score_matrix(4, entries)
+        protected = np.array([False, False, False, True])
+        g = assemble_from_scores(scores, num_edges=5, min_degree=0,
+                                 protected=protected, protected_volume=3)
+        assert g.degree(3) == 3
+
+    def test_empty_scores(self):
+        g = assemble_from_scores(sp.coo_matrix((3, 3)), num_edges=2)
+        assert g.num_edges == 0
+
+    def test_never_exceeds_available_edges(self):
+        scores = _score_matrix(3, [(0, 1, 1.0)])
+        g = assemble_from_scores(scores, num_edges=10, min_degree=0)
+        assert g.num_edges == 1
+
+
+class TestERModel:
+    def test_generated_size_matches(self, rng):
+        from repro.graph import erdos_renyi
+
+        original = erdos_renyi(80, 0.05, rng)
+        model = ERModel().fit(original, rng)
+        out = model.generate(rng)
+        assert out.num_nodes == original.num_nodes
+        expected = original.num_edges
+        assert abs(out.num_edges - expected) < 5 * np.sqrt(expected + 1)
+
+    def test_name(self):
+        assert ERModel.name == "ER"
+
+
+class TestBAModel:
+    def test_generated_heavy_tail(self, rng):
+        from repro.graph import barabasi_albert
+
+        original = barabasi_albert(120, 3, rng)
+        out = BAModel().fit(original, rng).generate(rng)
+        assert out.num_nodes == 120
+        assert out.degrees.max() > 3 * out.degrees.mean()
+
+    def test_attach_at_least_one(self, rng):
+        sparse = Graph.from_edges(10, [(0, 1)])
+        model = BAModel().fit(sparse, rng)
+        assert model._attach == 1
+
+    def test_tiny_graph_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BAModel().fit(Graph.from_edges(1, []), rng)

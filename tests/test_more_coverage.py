@@ -1,0 +1,144 @@
+"""Additional edge-case coverage across packages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.tsne import _calibrated_affinities, \
+    pairwise_sq_distances
+from repro.graph import Graph
+
+
+class TestTSNEInternals:
+    def test_affinities_hit_target_perplexity(self, rng):
+        x = rng.normal(size=(25, 4))
+        perplexity = 5.0
+        p = _calibrated_affinities(pairwise_sq_distances(x), perplexity)
+        # Each row's entropy should be ~log(perplexity).
+        for row in p:
+            nz = row[row > 0]
+            entropy = float(-(nz * np.log(nz)).sum())
+            assert entropy == pytest.approx(np.log(perplexity), abs=0.05)
+
+    def test_affinities_rows_normalised(self, rng):
+        x = rng.normal(size=(10, 3))
+        p = _calibrated_affinities(pairwise_sq_distances(x), 3.0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_affinities_diagonal_zero(self, rng):
+        x = rng.normal(size=(8, 3))
+        p = _calibrated_affinities(pairwise_sq_distances(x), 2.0)
+        np.testing.assert_allclose(np.diag(p), 0.0)
+
+
+class TestContextSamplerDistribution:
+    def test_label_guided_starts_class_uniform(self, rng):
+        """With r=0, start classes should be ~uniform across classes even
+        when class sizes are wildly imbalanced — this is the mechanism
+        that protects the scarce group during training."""
+        from repro.core import ContextSampler
+        from repro.graph import planted_protected_graph
+
+        graph, labels, _ = planted_protected_graph(
+            90, 10, rng, p_in=0.3, p_out=0.02, num_classes=2,
+            protected_as_class=True)
+        sampler = ContextSampler(graph, 0.0, walk_length=4)
+        # Label the whole graph so class pools mirror the imbalance.
+        nodes = np.arange(graph.num_nodes)
+        sampler.update_labels(nodes, labels)
+        walks = sampler.sample(600, rng)
+        start_classes = labels[walks[:, 0]]
+        counts = np.bincount(start_classes, minlength=3)
+        fractions = counts / counts.sum()
+        # Class 2 (the 10-node protected class) must receive roughly its
+        # uniform 1/3 share despite being 10% of the population.
+        assert fractions[2] > 0.2
+
+
+class TestGraphEdgeCases:
+    def test_two_node_graph(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert g.num_edges == 1
+        assert g.conductance([0]) == 1.0
+
+    def test_subgraph_of_single_node(self, two_cliques_graph):
+        sub = two_cliques_graph.subgraph([0])
+        assert sub.num_nodes == 1
+        assert sub.num_edges == 0
+
+    def test_volume_of_empty_set(self, two_cliques_graph):
+        assert two_cliques_graph.volume([]) == 0
+
+    def test_cut_of_everything_is_zero(self, two_cliques_graph):
+        assert two_cliques_graph.cut_size(list(range(8))) == 0
+
+    def test_edges_empty_graph(self):
+        g = Graph.from_edges(3, [])
+        assert g.edges().shape == (0, 2)
+
+
+class TestWalkLMTemperature:
+    def test_low_temperature_concentrates(self, rng):
+        """Near-zero temperature approaches greedy decoding: repeated
+        sampling from the same state should agree more often than at
+        temperature 1."""
+        from repro.models import TransformerWalkModel
+
+        model = TransformerWalkModel(12, 16, 2, 1, 6, rng)
+
+        def agreement(temp: float) -> float:
+            walks = model.sample(40, 6, np.random.default_rng(3),
+                                 temperature=temp,
+                                 starts=np.zeros(40, dtype=int))
+            # Fraction of walks identical to the most common one.
+            unique, counts = np.unique(walks, axis=0, return_counts=True)
+            return counts.max() / 40.0
+
+        assert agreement(0.05) >= agreement(1.0)
+
+
+class TestDiscrepancyNaN:
+    def test_nan_metric_propagates_not_crashes(self):
+        """PLE is NaN on an empty subgraph; discrepancy must stay NaN."""
+        from repro.eval import relative_discrepancy
+
+        assert np.isnan(relative_discrepancy(float("nan"), float("nan")))
+
+    def test_mean_discrepancy_skips_nan(self):
+        from repro.eval import mean_discrepancy
+
+        value = mean_discrepancy({"a": float("nan"), "b": 2.0})
+        assert value == pytest.approx(2.0)
+
+
+class TestSelfPacedCap:
+    def test_cap_limits_admissions_per_class(self):
+        from repro.core import SelfPacedState
+
+        state = SelfPacedState(20, 2, np.array([0]), np.array([0]),
+                               lambda_init=10.0, lambda_growth=1.5)
+        logp = np.full((20, 2), -0.1)  # everything confidently admitted
+        state.update(logp, max_per_class=3)
+        # Class 1: exactly the cap; class 0: cap + the ground-truth pin.
+        assert state.v[:, 1].sum() == 3
+        assert state.v[:, 0].sum() <= 4
+
+    def test_cap_keeps_most_confident(self):
+        from repro.core import SelfPacedState
+
+        state = SelfPacedState(5, 2, np.array([0]), np.array([0]),
+                               lambda_init=10.0, lambda_growth=1.5)
+        logp = np.full((5, 2), -5.0)
+        logp[[1, 2, 3], 1] = [-0.1, -0.2, -0.3]
+        state.update(logp, max_per_class=2)
+        assert state.v[1, 1] == 1 and state.v[2, 1] == 1
+        assert state.v[3, 1] == 0
+
+    def test_negative_cap_rejected(self):
+        from repro.core import SelfPacedState
+
+        state = SelfPacedState(4, 2, np.array([0]), np.array([0]),
+                               lambda_init=1.0, lambda_growth=1.5)
+        with pytest.raises(ValueError):
+            state.update(np.zeros((4, 2)), max_per_class=-1)

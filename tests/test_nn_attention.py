@@ -1,0 +1,121 @@
+"""Tests for transformer components: mask, positions, attention, block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (MultiHeadSelfAttention, Tensor, TransformerBlock,
+                      causal_mask, sinusoidal_positions)
+from repro.nn.gradcheck import check_gradients
+
+
+class TestCausalMask:
+    def test_shape_and_values(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert (np.tril(mask) == 0).all()
+        assert (mask[np.triu_indices(4, k=1)] == -1e9).all()
+
+    def test_length_one(self):
+        assert causal_mask(1).shape == (1, 1)
+        assert causal_mask(1)[0, 0] == 0
+
+
+class TestSinusoidalPositions:
+    def test_shape(self):
+        assert sinusoidal_positions(7, 6).shape == (7, 6)
+
+    def test_odd_dim(self):
+        enc = sinusoidal_positions(5, 5)
+        assert enc.shape == (5, 5)
+        assert np.isfinite(enc).all()
+
+    def test_first_position_is_cosine_one(self):
+        enc = sinusoidal_positions(3, 4)
+        np.testing.assert_allclose(enc[0, 0::2], 0.0)  # sin(0)
+        np.testing.assert_allclose(enc[0, 1::2], 1.0)  # cos(0)
+
+    def test_positions_distinct(self):
+        enc = sinusoidal_positions(10, 16)
+        dists = np.linalg.norm(enc[:, None] - enc[None, :], axis=-1)
+        off_diag = dists[~np.eye(10, dtype=bool)]
+        assert (off_diag > 1e-6).all()
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = Tensor(rng.normal(size=(3, 5, 8)))
+        assert attn(x).shape == (3, 5, 8)
+
+    def test_dim_head_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, rng)
+
+    def test_causal_mask_blocks_future(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        mask = causal_mask(4)
+        out1 = attn(Tensor(x), mask).numpy().copy()
+        x_mod = x.copy()
+        x_mod[0, 3] += 10.0  # perturb the last position only
+        out2 = attn(Tensor(x_mod), mask).numpy()
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-10)
+        assert not np.allclose(out1[0, 3], out2[0, 3])
+
+    def test_without_mask_all_positions_interact(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        out1 = attn(Tensor(x)).numpy().copy()
+        x_mod = x.copy()
+        x_mod[0, 3] += 10.0
+        out2 = attn(Tensor(x_mod)).numpy()
+        assert not np.allclose(out1[0, 0], out2[0, 0])
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        attn = MultiHeadSelfAttention(4, 2, rng)
+        x = Tensor(rng.normal(size=(1, 3, 4)))
+        attn(x, causal_mask(3)).sum().backward()
+        for p in attn.parameters():
+            assert p.grad is not None
+
+    def test_gradcheck_small(self, rng):
+        attn = MultiHeadSelfAttention(4, 1, rng)
+        x = Tensor(rng.normal(size=(1, 2, 4)), requires_grad=True)
+        check_gradients(lambda: attn(x).sum(), [x])
+
+
+class TestTransformerBlock:
+    def test_output_shape(self, rng):
+        block = TransformerBlock(8, 2, rng)
+        x = Tensor(rng.normal(size=(2, 5, 8)))
+        assert block(x).shape == (2, 5, 8)
+
+    def test_residual_path_exists(self, rng):
+        """With zeroed sublayer outputs the block is the identity."""
+        block = TransformerBlock(8, 2, rng)
+        block.attn.out_proj.weight.data[:] = 0.0
+        block.attn.out_proj.bias.data[:] = 0.0
+        block.ff_out.weight.data[:] = 0.0
+        block.ff_out.bias.data[:] = 0.0
+        x = rng.normal(size=(1, 3, 8))
+        np.testing.assert_allclose(block(Tensor(x)).numpy(), x, atol=1e-12)
+
+    def test_causality_end_to_end(self, rng):
+        block = TransformerBlock(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        mask = causal_mask(4)
+        out1 = block(Tensor(x), mask).numpy().copy()
+        x_mod = x.copy()
+        x_mod[0, -1] += 5.0
+        out2 = block(Tensor(x_mod), mask).numpy()
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-10)
+
+    def test_all_parameters_receive_gradients(self, rng):
+        block = TransformerBlock(4, 2, rng)
+        x = Tensor(rng.normal(size=(1, 3, 4)))
+        block(x, causal_mask(3)).sum().backward()
+        missing = [n for n, p in block.named_parameters() if p.grad is None]
+        assert not missing

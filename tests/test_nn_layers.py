@@ -1,0 +1,224 @@
+"""Tests for modules: Linear, Embedding, LayerNorm, Dropout, MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (Dropout, Embedding, LayerNorm, Linear, MLP, Module,
+                      Parameter, Sequential, Tensor)
+from repro.nn.gradcheck import check_gradients
+
+
+class TestModuleRegistry:
+    def test_named_parameters_nested(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        names = [n for n, _ in mlp.named_parameters()]
+        assert len(names) == 4  # two Linear layers x (weight, bias)
+        assert len(set(names)) == len(names)
+
+    def test_parameters_deduplicated(self, rng):
+        lin = Linear(2, 2, rng)
+
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = lin
+                self.b = lin
+
+        assert len(list(Shared().parameters())) == 2
+
+    def test_num_parameters(self, rng):
+        lin = Linear(3, 4, rng)
+        assert lin.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_recursive(self, rng):
+        mlp = MLP([2, 3, 1], rng)
+        out = mlp(Tensor(rng.normal(size=(4, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        mlp = MLP([2, 3, 1], rng, dropout=0.5)
+        mlp.eval()
+        assert all(not m.training for m in mlp.net)
+        mlp.train()
+        assert all(m.training for m in mlp.net)
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        src = MLP([3, 5, 2], rng)
+        dst = MLP([3, 5, 2], np.random.default_rng(99))
+        dst.load_state_dict(src.state_dict())
+        x = Tensor(rng.normal(size=(2, 3)))
+        np.testing.assert_allclose(src(x).numpy(), dst(x).numpy())
+
+    def test_missing_key_raises(self, rng):
+        mlp = MLP([2, 2], rng)
+        state = mlp.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        mlp = MLP([2, 2], rng)
+        state = mlp.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((7, 7))
+        with pytest.raises(ValueError):
+            mlp.load_state_dict(state)
+
+    def test_state_dict_copies(self, rng):
+        lin = Linear(2, 2, rng)
+        state = lin.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(lin.weight.data, 0.0)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        lin = Linear(4, 3, rng)
+        assert lin(Tensor(rng.normal(size=(5, 4)))).shape == (5, 3)
+
+    def test_forward_matches_manual(self, rng):
+        lin = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ lin.weight.numpy() + lin.bias.numpy()
+        np.testing.assert_allclose(lin(Tensor(x)).numpy(), expected)
+
+    def test_no_bias(self, rng):
+        lin = Linear(3, 2, rng, bias=False)
+        assert lin.bias is None
+        assert len(list(lin.parameters())) == 1
+
+    def test_gradients(self, rng):
+        lin = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        check_gradients(lambda: lin(x).sum(), list(lin.parameters()))
+
+    def test_glorot_scale(self, rng):
+        lin = Linear(100, 100, rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(lin.weight.numpy()).max() <= bound
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_values(self, rng):
+        emb = Embedding(5, 3, rng)
+        np.testing.assert_allclose(emb(np.array([2])).numpy()[0],
+                                   emb.weight.numpy()[2])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 3, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_for_repeated_ids(self, rng):
+        emb = Embedding(4, 2, rng)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestLayerNorm:
+    def test_output_normalized(self, rng):
+        ln = LayerNorm(8)
+        out = ln(Tensor(rng.normal(size=(4, 8)) * 7 + 3)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients(self, rng):
+        ln = LayerNorm(4)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        coef = rng.normal(size=(3, 4))
+        check_gradients(lambda: (ln(x) * Tensor(coef)).sum(),
+                        [x, ln.gamma, ln.beta])
+
+    def test_gamma_beta_affect_output(self, rng):
+        ln = LayerNorm(4)
+        x = Tensor(rng.normal(size=(2, 4)))
+        before = ln(x).numpy().copy()
+        ln.gamma.data[:] = 2.0
+        ln.beta.data[:] = 1.0
+        np.testing.assert_allclose(ln(x).numpy(), before * 2.0 + 1.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10,)))
+        np.testing.assert_allclose(drop(x).numpy(), x.numpy())
+
+    def test_zero_p_is_identity(self, rng):
+        drop = Dropout(0.0, rng)
+        x = Tensor(rng.normal(size=(10,)))
+        np.testing.assert_allclose(drop(x).numpy(), x.numpy())
+
+    def test_training_scales_survivors(self, rng):
+        drop = Dropout(0.5, rng)
+        x = Tensor(np.ones(10000))
+        out = drop(x).numpy()
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < kept.size / 10000 < 0.6
+
+    def test_invalid_p_raises(self, rng):
+        drop = Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            drop(Tensor(np.ones(3)))
+
+
+class TestSequentialAndMLP:
+    def test_sequential_order(self, rng):
+        a, b = Linear(2, 3, rng), Linear(3, 1, rng)
+        seq = Sequential(a, b)
+        x = Tensor(rng.normal(size=(4, 2)))
+        np.testing.assert_allclose(seq(x).numpy(), b(a(x)).numpy())
+        assert len(seq) == 2
+
+    def test_mlp_three_layer_shape(self, rng):
+        mlp = MLP([4, 8, 8, 3], rng)
+        assert mlp(Tensor(rng.normal(size=(2, 4)))).shape == (2, 3)
+
+    def test_mlp_requires_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_mlp_activation_variants(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        for act in ("relu", "tanh", "gelu"):
+            out = MLP([4, 4, 2], rng, activation=act)(x)
+            assert out.shape == (3, 2)
+
+    def test_mlp_trains_to_fit_xor(self, rng):
+        from repro.nn import Adam
+        from repro.nn import functional as F
+
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        y = np.array([0, 1, 1, 0])
+        mlp = MLP([2, 16, 2], rng, activation="tanh")
+        opt = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = F.cross_entropy(mlp(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        pred = mlp(Tensor(x)).numpy().argmax(axis=1)
+        np.testing.assert_array_equal(pred, y)
+
+
+class TestParameter:
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad

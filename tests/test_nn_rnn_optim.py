@@ -1,0 +1,232 @@
+"""Tests for the LSTM substrate and the optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, LSTM, LSTMCell, Linear, SGD, Tensor,
+                      clip_grad_norm)
+from repro.nn import functional as F
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(3, 5, rng)
+        h, c = cell(Tensor(rng.normal(size=(2, 3))), cell.zero_state(2))
+        assert h.shape == (2, 5)
+        assert c.shape == (2, 5)
+
+    def test_forget_bias_initialised_to_one(self, rng):
+        cell = LSTMCell(3, 5, rng)
+        np.testing.assert_allclose(cell.ih.bias.numpy()[5:10], 1.0)
+
+    def test_state_propagates(self, rng):
+        cell = LSTMCell(2, 4, rng)
+        x = Tensor(rng.normal(size=(1, 2)))
+        s0 = cell.zero_state(1)
+        s1 = cell(x, s0)
+        s2 = cell(x, s1)
+        assert not np.allclose(s1[0].numpy(), s2[0].numpy())
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        x = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        state = cell.zero_state(1)
+        for _ in range(4):
+            state = cell(x, state)
+        state[0].sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestLSTM:
+    def test_sequence_shape(self, rng):
+        lstm = LSTM(3, 6, rng)
+        out, (h, c) = lstm(Tensor(rng.normal(size=(2, 7, 3))))
+        assert out.shape == (2, 7, 6)
+        assert h.shape == (2, 6)
+
+    def test_last_output_equals_final_state(self, rng):
+        lstm = LSTM(3, 4, rng)
+        out, (h, _) = lstm(Tensor(rng.normal(size=(1, 5, 3))))
+        np.testing.assert_allclose(out.numpy()[:, -1], h.numpy())
+
+    def test_learns_to_memorise_first_token(self, rng):
+        """An LSTM + readout should learn to output the first input."""
+        lstm = LSTM(1, 8, rng)
+        readout = Linear(8, 1, rng)
+        params = list(lstm.parameters()) + list(readout.parameters())
+        opt = Adam(params, lr=0.02)
+        for _ in range(150):
+            x = rng.choice([-1.0, 1.0], size=(8, 5, 1))
+            target = x[:, 0, :]
+            opt.zero_grad()
+            out, (h, _) = lstm(Tensor(x))
+            loss = F.mse_loss(readout(h), target)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        from repro.nn import Parameter
+
+        w = Parameter(np.array([5.0]))
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            ((w - 2.0) ** 2).sum().backward()
+            opt.step()
+        assert w.numpy()[0] == pytest.approx(2.0, abs=1e-4)
+
+    def test_momentum_accelerates(self):
+        from repro.nn import Parameter
+
+        def run(momentum):
+            w = Parameter(np.array([5.0]))
+            opt = SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                ((w - 2.0) ** 2).sum().backward()
+                opt.step()
+            return abs(w.numpy()[0] - 2.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        from repro.nn import Parameter
+
+        w = Parameter(np.array([1.0]))
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (w * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert abs(w.numpy()[0]) < 1.0
+
+    def test_rejects_bad_lr(self):
+        from repro.nn import Parameter
+
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        from repro.nn import Parameter
+
+        w = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ((w - 1.0) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(w.numpy(), [1.0, 1.0], atol=1e-3)
+
+    def test_skips_params_without_grad(self):
+        from repro.nn import Parameter
+
+        w1 = Parameter(np.array([1.0]))
+        w2 = Parameter(np.array([1.0]))
+        opt = Adam([w1, w2], lr=0.1)
+        opt.zero_grad()
+        ((w1 - 2.0) ** 2).sum().backward()
+        opt.step()
+        assert w1.numpy()[0] != 1.0
+        assert w2.numpy()[0] == 1.0
+
+    def test_bias_correction_first_step_magnitude(self):
+        """First Adam step should be ~lr in the gradient direction."""
+        from repro.nn import Parameter
+
+        w = Parameter(np.array([0.0]))
+        opt = Adam([w], lr=0.1)
+        opt.zero_grad()
+        (w * 3.0).sum().backward()
+        opt.step()
+        assert w.numpy()[0] == pytest.approx(-0.1, rel=1e-4)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        from repro.nn import Parameter
+
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([w], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        from repro.nn import Parameter
+
+        w = Parameter(np.zeros(2))
+        w.grad = np.array([0.1, 0.1])
+        clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, [0.1, 0.1])
+
+    def test_ignores_none_grads(self):
+        from repro.nn import Parameter
+
+        w = Parameter(np.zeros(2))
+        assert clip_grad_norm([w], 1.0) == 0.0
+
+
+class TestFunctional:
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 1])
+        t = Tensor(logits)
+        loss = F.cross_entropy(t, targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        manual = -log_probs[np.arange(4), targets].mean()
+        assert loss == pytest.approx(manual)
+
+    def test_cross_entropy_weights(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3)))
+        targets = np.array([0, 1])
+        unweighted = F.cross_entropy(logits, targets, reduction="sum").item()
+        doubled = F.cross_entropy(logits, targets,
+                                  weights=np.array([2.0, 2.0]),
+                                  reduction="sum").item()
+        assert doubled == pytest.approx(2 * unweighted)
+
+    def test_nll_reduction_none_shape(self, rng):
+        logp = Tensor(rng.normal(size=(5, 3))).log_softmax(axis=-1)
+        out = F.nll_loss(logp, np.zeros(5, dtype=int), reduction="none")
+        assert out.shape == (5,)
+
+    def test_bad_reduction_raises(self, rng):
+        logp = Tensor(rng.normal(size=(2, 2)))
+        with pytest.raises(ValueError):
+            F.nll_loss(logp, np.array([0, 1]), reduction="bogus")
+
+    def test_bce_with_logits_matches_manual(self, rng):
+        logits = rng.normal(size=6)
+        targets = rng.integers(0, 2, size=6).astype(float)
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits),
+                                                  targets).item()
+        p = 1 / (1 + np.exp(-logits))
+        manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(manual, rel=1e-6)
+
+    def test_mse(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_cross_entropy_gradient(self, rng):
+        from repro.nn.gradcheck import check_gradients
+
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        check_gradients(lambda: F.cross_entropy(logits, targets), [logits])

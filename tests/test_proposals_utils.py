@@ -1,0 +1,153 @@
+"""Tests for edge proposals (the Figure 6 mechanism) and repro.utils."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import Graph, planted_protected_graph, sample_walks, \
+    walks_to_edge_counts
+from repro.models import TagGen, propose_edges_from_walk_counts
+from repro.eval import insert_edges
+from repro.utils import Timer, format_table, seeded_rng, spawn_rngs
+
+
+@pytest.fixture
+def square_graph():
+    """4-cycle: 0-1-2-3-0 (no diagonals)."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+
+
+def _counts(n, entries):
+    rows, cols, vals = [], [], []
+    for u, v, c in entries:
+        rows += [u, v]
+        cols += [v, u]
+        vals += [c, c]
+    return sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+
+
+class TestProposeFromCounts:
+    def test_excludes_existing_edges(self, square_graph):
+        counts = _counts(4, [(0, 1, 50.0), (0, 2, 3.0)])
+        prop = propose_edges_from_walk_counts(square_graph, counts, 5)
+        assert prop.tolist() == [[0, 2]]
+
+    def test_ranked_by_count(self, square_graph):
+        counts = _counts(4, [(0, 2, 3.0), (1, 3, 7.0)])
+        prop = propose_edges_from_walk_counts(square_graph, counts, 2)
+        assert prop[0].tolist() == [1, 3]
+        assert prop[1].tolist() == [0, 2]
+
+    def test_budget_respected(self, square_graph):
+        counts = _counts(4, [(0, 2, 3.0), (1, 3, 7.0)])
+        prop = propose_edges_from_walk_counts(square_graph, counts, 1)
+        assert len(prop) == 1
+
+    def test_weight_fn_reorders(self, square_graph):
+        counts = _counts(4, [(0, 2, 3.0), (1, 3, 7.0)])
+
+        def weight(rows, cols):
+            # Strongly prefer the (0, 2) candidate.
+            return np.where((rows == 0) & (cols == 2), 100.0, 1.0)
+
+        prop = propose_edges_from_walk_counts(square_graph, counts, 2,
+                                              weight_fn=weight)
+        assert prop[0].tolist() == [0, 2]
+
+    def test_no_candidates(self, square_graph):
+        prop = propose_edges_from_walk_counts(
+            square_graph, sp.csr_matrix((4, 4)), 3)
+        assert prop.shape == (0, 2)
+
+
+class TestModelProposeEdges:
+    def test_taggen_proposals_are_novel(self, rng):
+        graph, _, _ = planted_protected_graph(40, 10, rng, p_in=0.3,
+                                              p_out=0.03,
+                                              protected_as_class=True)
+        model = TagGen(epochs=2, walks_per_epoch=32, dim=16, num_layers=1,
+                       walk_length=6, generation_walk_factor=6)
+        model.fit(graph, rng)
+        proposals = model.propose_edges(10, rng)
+        assert proposals.shape[1] == 2
+        for u, v in proposals:
+            assert not graph.has_edge(int(u), int(v))
+
+    def test_er_default_proposals_are_novel(self, rng):
+        from repro.models import ERModel
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(30, 0.1, rng)
+        model = ERModel().fit(graph, rng)
+        proposals = model.propose_edges(5, rng)
+        for u, v in proposals:
+            assert not graph.has_edge(int(u), int(v))
+
+    def test_fairgen_proposals_prefer_intra_class(self):
+        """The discriminator weighting should beat count-only ranking on
+        intra-class purity for a community-structured graph."""
+        from repro.core import FairGen, FairGenConfig
+
+        rng = np.random.default_rng(5)
+        graph, labels, protected = planted_protected_graph(
+            80, 16, rng, p_in=0.3, p_out=0.01, num_classes=2)
+        few = np.concatenate([np.flatnonzero(labels == c)[:3]
+                              for c in range(2)])
+        model = FairGen(FairGenConfig(
+            self_paced_cycles=2, walks_per_cycle=32,
+            generator_steps_per_cycle=30, generator_batch=16,
+            model_dim=16, num_layers=1, walk_length=6, feature_dim=32,
+            batch_iterations=6, discriminator_lr=0.05,
+            generation_walk_factor=8))
+        model.fit(graph, rng, labeled_nodes=few, labeled_classes=labels[few],
+                  protected_mask=protected, num_classes=2)
+        proposals = model.propose_edges(15, np.random.default_rng(6))
+        if len(proposals) == 0:
+            pytest.skip("generator proposed no novel edges at this budget")
+        intra = (labels[proposals[:, 0]] == labels[proposals[:, 1]]).mean()
+        assert intra >= 0.4  # far above the ~0.5/0.5 random split baseline
+
+
+class TestInsertEdges:
+    def test_adds_edges(self, square_graph):
+        out = insert_edges(square_graph, np.array([[0, 2]]))
+        assert out.has_edge(0, 2)
+        assert out.num_edges == square_graph.num_edges + 1
+
+    def test_empty_is_identity(self, square_graph):
+        out = insert_edges(square_graph, np.empty((0, 2)))
+        assert out == square_graph
+
+    def test_duplicate_insert_is_idempotent(self, square_graph):
+        out = insert_edges(square_graph, np.array([[0, 1]]))
+        assert out.num_edges == square_graph.num_edges
+
+
+class TestUtils:
+    def test_seeded_rng_deterministic(self):
+        a = seeded_rng(9).random(4)
+        b = seeded_rng(9).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(1, 3)
+        values = [s.random(8).tolist() for s in streams]
+        assert values[0] != values[1] != values[2]
+
+    def test_spawn_rngs_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, 0)
+
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.seconds >= 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}

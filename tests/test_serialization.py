@@ -1,0 +1,94 @@
+"""Tests for module and FairGen persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (FairGen, FairGenConfig, load_fairgen, save_fairgen)
+from repro.graph import planted_protected_graph
+from repro.nn import MLP, Tensor, load_state, save_state
+
+
+class TestModuleSerialization:
+    def test_roundtrip(self, rng, tmp_path):
+        path = tmp_path / "mlp.npz"
+        src = MLP([4, 8, 2], rng)
+        save_state(src, path)
+        dst = MLP([4, 8, 2], np.random.default_rng(99))
+        load_state(dst, path)
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(src(x).numpy(), dst(x).numpy())
+
+    def test_wrong_architecture_rejected(self, rng, tmp_path):
+        path = tmp_path / "mlp.npz"
+        save_state(MLP([4, 8, 2], rng), path)
+        with pytest.raises((KeyError, ValueError)):
+            load_state(MLP([4, 16, 2], rng), path)
+
+    def test_empty_module_rejected(self, tmp_path):
+        from repro.nn import Module
+
+        class Empty(Module):
+            pass
+
+        with pytest.raises(ValueError):
+            save_state(Empty(), tmp_path / "e.npz")
+
+
+class TestFairGenSerialization:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(17)
+        graph, labels, protected = planted_protected_graph(
+            40, 10, rng, p_in=0.3, p_out=0.03, num_classes=2,
+            protected_as_class=True)
+        few = np.concatenate([np.flatnonzero(labels == c)[:2]
+                              for c in range(3)])
+        model = FairGen(FairGenConfig(
+            self_paced_cycles=2, walks_per_cycle=16,
+            generator_steps_per_cycle=2, generator_batch=8, model_dim=16,
+            num_layers=1, walk_length=5, feature_dim=16,
+            batch_iterations=2, batch_size=16, generation_walk_factor=6))
+        model.fit(graph, rng, labeled_nodes=few,
+                  labeled_classes=labels[few], protected_mask=protected,
+                  num_classes=3)
+        return model, graph
+
+    def test_roundtrip_generates_identically(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "fairgen.npz"
+        save_fairgen(model, path)
+        restored = load_fairgen(path, graph)
+        a = model.generate(np.random.default_rng(3))
+        b = restored.generate(np.random.default_rng(3))
+        assert a == b
+
+    def test_roundtrip_preserves_discriminator(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "fairgen.npz"
+        save_fairgen(model, path)
+        restored = load_fairgen(path, graph)
+        np.testing.assert_allclose(model.discriminator.predict_proba(),
+                                   restored.discriminator.predict_proba())
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_fairgen(FairGen(), tmp_path / "x.npz")
+
+    def test_wrong_graph_rejected(self, trained, tmp_path):
+        model, _ = trained
+        path = tmp_path / "fairgen.npz"
+        save_fairgen(model, path)
+        from repro.graph import erdos_renyi
+
+        other = erdos_renyi(10, 0.3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            load_fairgen(path, other)
+
+    def test_config_round_trips(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "fairgen.npz"
+        save_fairgen(model, path)
+        restored = load_fairgen(path, graph)
+        assert restored.config == model.config
