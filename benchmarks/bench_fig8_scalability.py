@@ -11,10 +11,11 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import pytest
 
 from common import bench_fairgen_config, format_table, surrogate_supervision
 from repro.core import FairGen
-from repro.graph import erdos_renyi
+from repro.graph import erdos_renyi, node2vec_walk, sample_walks
 
 NODE_SWEEP = [120, 240, 480]
 DENSITY_SWEEP = [0.01, 0.02, 0.04]
@@ -58,6 +59,37 @@ def test_fig8a_runtime_vs_nodes(benchmark):
     ratio = times[NODE_SWEEP[-1]] / times[NODE_SWEEP[0]]
     size_ratio = NODE_SWEEP[-1] / NODE_SWEEP[0]
     assert ratio < size_ratio ** 2
+
+
+@pytest.mark.smoke
+def test_fig8_smoke_walk_stage():
+    """Seconds-scale smoke for the walk-sampling stage of Figure 8.
+
+    Runs tiny sizes only, so it can gate every CI run:
+    ``pytest benchmarks/bench_fig8_scalability.py -m smoke``.  Guards
+    against performance regressions in the batched walk engine by
+    requiring it to beat the scalar reference walker by a comfortable
+    margin (the real margin is an order of magnitude; 2x keeps the
+    assertion robust to CI noise).
+    """
+    rng = np.random.default_rng(31)
+    graph = erdos_renyi(NODE_SWEEP[-1], FIXED_DENSITY, rng)
+    num_walks, length = 512, 10
+
+    start = time.perf_counter()
+    walks = sample_walks(graph, num_walks, length, rng, p=0.5, q=2.0)
+    batched_seconds = time.perf_counter() - start
+    assert walks.shape == (num_walks, length)
+
+    start = time.perf_counter()
+    for s in walks[:, 0]:
+        node2vec_walk(graph, int(s), length, rng, p=0.5, q=2.0)
+    scalar_seconds = time.perf_counter() - start
+
+    print(f"\n\nFigure 8 smoke — walk stage on n={NODE_SWEEP[-1]}: "
+          f"batched {batched_seconds:.3f}s vs scalar {scalar_seconds:.3f}s "
+          f"({scalar_seconds / max(batched_seconds, 1e-9):.1f}x)")
+    assert batched_seconds * 2 < scalar_seconds
 
 
 def test_fig8b_runtime_vs_density(benchmark):

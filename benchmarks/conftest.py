@@ -5,3 +5,10 @@ from pathlib import Path
 
 # Make `common` importable when pytest is invoked from the repo root.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: seconds-scale benchmark subset safe to run on every CI "
+        "pass (e.g. pytest benchmarks/bench_fig8_scalability.py -m smoke)")

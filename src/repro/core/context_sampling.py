@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph import Graph, diffusion_core, node2vec_walk, sample_walks
+from ..graph import Graph, WalkEngine, diffusion_core, sample_walks
 
 __all__ = ["ContextSampler"]
 
@@ -80,27 +80,30 @@ class ContextSampler:
 
     # ------------------------------------------------------------------
     def sample(self, num_walks: int, rng: np.random.Generator) -> np.ndarray:
-        """Draw ``num_walks`` context walks according to ``f_S``."""
+        """Draw ``num_walks`` context walks according to ``f_S``.
+
+        The general/label-guided split only affects the *start* of each
+        walk, so the batch is materialised as one start vector — general
+        starts degree-weighted, label-guided starts per-class batched —
+        and advanced in a single call on the batched walk engine.
+        """
         if num_walks <= 0:
             raise ValueError("num_walks must be positive")
         if not self._class_members:
             # Without labels f_S degenerates to general sampling.
             return sample_walks(self.graph, num_walks, self.walk_length, rng)
 
-        walks = np.empty((num_walks, self.walk_length), dtype=np.int64)
-        coins = rng.random(num_walks)
-        classes = self.classes
-        for i in range(num_walks):
-            if coins[i] < self.sampling_ratio:
-                walks[i] = sample_walks(self.graph, 1, self.walk_length,
-                                        rng)[0]
-            else:
-                cls = classes[rng.integers(len(classes))]
-                starts = self.class_starts(cls)
-                start = int(starts[rng.integers(starts.size)])
-                walks[i] = node2vec_walk(self.graph, start,
-                                         self.walk_length, rng)
-        return walks
+        engine = self.graph.walk_engine()
+        general = rng.random(num_walks) < self.sampling_ratio
+        starts = np.empty(num_walks, dtype=np.int64)
+        num_general = int(general.sum())
+        if num_general:
+            starts[general] = engine.sample_starts(num_general, rng)
+        if num_general < num_walks:
+            pools = [self._class_starts[cls] for cls in self.classes]
+            starts[~general] = WalkEngine.class_batched_starts(
+                pools, num_walks - num_general, rng)
+        return engine.node2vec_walks(starts, self.walk_length, rng)
 
     def label_guided_fraction(self) -> float:
         """Expected fraction of walks that are label-guided (``1 - r``)."""

@@ -49,11 +49,28 @@ class FairGen(GraphGenerativeModel):
         self.discriminator: FairDiscriminator | None = None
         self.sampler: ContextSampler | None = None
         self.self_paced: SelfPacedState | None = None
-        self.protected_mask: np.ndarray | None = None
+        self._protected_mask: np.ndarray | None = None
         self.features: np.ndarray | None = None
+        #: lazily computed (protected_nodes, pin_fraction) for generation
+        #: starts; False once computed with nothing to pin
+        self._generation_plan: tuple[np.ndarray, float] | bool | None = None
         #: per-cycle diagnostics: generator loss, discriminator losses,
         #: lambda, number of pseudo labels
         self.history: list[dict[str, float]] = []
+
+    @property
+    def protected_mask(self) -> np.ndarray | None:
+        """Boolean membership of the protected group ``S+``.
+
+        Assigning a new mask (e.g. when restoring a serialized model)
+        invalidates the cached generation pin plan.
+        """
+        return self._protected_mask
+
+    @protected_mask.setter
+    def protected_mask(self, mask: np.ndarray | None) -> None:
+        self._protected_mask = mask
+        self._generation_plan = None
 
     # ------------------------------------------------------------------
     # Training (Algorithm 1)
@@ -212,6 +229,42 @@ class FairGen(GraphGenerativeModel):
     # ------------------------------------------------------------------
     # Generation (Section II-D)
     # ------------------------------------------------------------------
+    def _generation_starts(self, take: int,
+                           rng: np.random.Generator) -> np.ndarray | None:
+        """Start nodes for ``take`` generated walks, or None to let the
+        generator sample its own starts.
+
+        Seeds a slice of walks at protected nodes so the scarce group
+        receives coverage matching its *fair share* — its fraction of
+        the graph volume.  Pinning more than that over-densifies the
+        protected neighborhoods (inflating triangles/clustering in the
+        generated ego networks); pinning less starves them.  The unpinned
+        slice is drawn degree-weighted — the same convention
+        ``sample_walks`` uses for the training pools — so the
+        generation-time score matrix matches the training distribution.
+
+        The (protected_nodes, pin_fraction) plan is invariant after
+        ``fit``, so it is computed once and cached across the 256-walk
+        generation chunks.
+        """
+        graph = self._fitted_graph
+        if self._generation_plan is None:
+            protected_nodes = np.flatnonzero(self.protected_mask)
+            volume_total = float(graph.degrees.sum())
+            if protected_nodes.size == 0 or volume_total == 0:
+                self._generation_plan = False
+            else:
+                self._generation_plan = (
+                    protected_nodes,
+                    graph.volume(protected_nodes) / volume_total)
+        if self._generation_plan is False:
+            return None
+        protected_nodes, pin_fraction = self._generation_plan
+        starts = graph.walk_engine().sample_starts(take, rng)
+        pinned = rng.random(take) < pin_fraction
+        starts[pinned] = rng.choice(protected_nodes, size=int(pinned.sum()))
+        return starts
+
     def generate_walks(self, num_walks: int,
                        rng: np.random.Generator) -> np.ndarray:
         if self.generator is None:
@@ -219,25 +272,9 @@ class FairGen(GraphGenerativeModel):
         cfg = self.config
         chunks = []
         remaining = num_walks
-        graph = self._fitted_graph
-        protected_nodes = np.flatnonzero(self.protected_mask)
-        # Seed a slice of walks at protected nodes so the scarce group
-        # receives coverage matching its *fair share* — its fraction of
-        # the graph volume.  Pinning more than that over-densifies the
-        # protected neighborhoods (inflating triangles/clustering in the
-        # generated ego networks); pinning less starves them.
-        volume_total = float(graph.degrees.sum())
-        pin_fraction = 0.0
-        if protected_nodes.size and volume_total > 0:
-            pin_fraction = graph.volume(protected_nodes) / volume_total
         while remaining > 0:
             take = min(remaining, 256)
-            starts = None
-            if pin_fraction > 0:
-                starts = rng.choice(graph.num_nodes, size=take)
-                pinned = rng.random(take) < pin_fraction
-                starts[pinned] = rng.choice(protected_nodes,
-                                            size=int(pinned.sum()))
+            starts = self._generation_starts(take, rng)
             chunks.append(self.generator.sample(take, cfg.walk_length, rng,
                                                 starts=starts))
             remaining -= take

@@ -42,7 +42,8 @@ def node2vec_embedding(graph: Graph, config: Node2VecConfig,
     """Learn node embeddings of shape ``(num_nodes, config.dim)``.
 
     Every node seeds ``walks_per_node`` walks so even low-degree nodes get
-    coverage (this matters for the protected group).
+    coverage (this matters for the protected group).  The whole walk corpus
+    is drawn in one batched call on the graph's walk engine.
     """
     starts = np.repeat(np.arange(graph.num_nodes), config.walks_per_node)
     walks = sample_walks(graph, starts.size, config.walk_length, rng,

@@ -4,6 +4,7 @@ from .graph import Graph
 from .components import connected_components, largest_component_nodes
 from .random_walk import (node2vec_walk, sample_walks, uniform_random_walk,
                           walks_to_edge_counts)
+from .walk_engine import WalkEngine
 from .diffusion import (diffusion_core, escape_probability, indicator_vector,
                         lemma21_bound, stay_probability)
 from .generators import (barabasi_albert, configuration_model, erdos_renyi,
@@ -17,7 +18,7 @@ __all__ = [
     "Graph",
     "connected_components", "largest_component_nodes",
     "uniform_random_walk", "node2vec_walk", "sample_walks",
-    "walks_to_edge_counts",
+    "walks_to_edge_counts", "WalkEngine",
     "indicator_vector", "escape_probability", "stay_probability",
     "diffusion_core", "lemma21_bound",
     "erdos_renyi", "barabasi_albert", "stochastic_block_model",

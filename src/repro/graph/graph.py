@@ -37,6 +37,7 @@ class Graph:
         self._adj = adj
         self._adj.sort_indices()
         self._degrees = np.asarray(adj.sum(axis=1)).ravel()
+        self._walk_engine = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -91,7 +92,27 @@ class Graph:
         return self._adj.indices[lo:hi]
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self.neighbors(u)
+        """Edge membership in O(log deg(u)) via binary search.
+
+        CSR indices are kept sorted per row (``sort_indices`` in the
+        constructor), so membership does not need the O(deg) linear scan
+        of ``v in neighbors(u)``.
+        """
+        lo, hi = self._adj.indptr[u], self._adj.indptr[u + 1]
+        pos = lo + np.searchsorted(self._adj.indices[lo:hi], v)
+        return bool(pos < hi and self._adj.indices[pos] == v)
+
+    def walk_engine(self) -> "WalkEngine":
+        """Cached batched walk engine bound to this graph.
+
+        The graph is immutable, so one engine (and its lazily built edge
+        key table) is shared by every walk-hungry consumer.
+        """
+        if self._walk_engine is None:
+            from .walk_engine import WalkEngine
+
+            self._walk_engine = WalkEngine(self)
+        return self._walk_engine
 
     def edges(self) -> np.ndarray:
         """Array of shape (m, 2) with each undirected edge once (u < v)."""
@@ -128,13 +149,11 @@ class Graph:
         a_dinv = self._adj @ sp.diags(inv_deg)
         m = (a_dinv + sp.identity(self.num_nodes, format="csr")) / 2.0
         # Isolated nodes: A D^-1 column is zero, so M column sums to 1/2.
-        # Give them a full self-loop instead so M stays column-stochastic.
-        isolated = np.flatnonzero(self._degrees == 0)
-        if isolated.size:
-            m = sp.lil_matrix(m)
-            for v in isolated:
-                m[v, v] = 1.0
-            m = sp.csr_matrix(m)
+        # Give them a full self-loop instead so M stays column-stochastic;
+        # the correction is a sparse diagonal, no Python loop needed.
+        isolated = self._degrees == 0
+        if isolated.any():
+            m = sp.csr_matrix(m + sp.diags(np.where(isolated, 0.5, 0.0)))
         return m
 
     def volume(self, nodes: Sequence[int] | np.ndarray) -> int:

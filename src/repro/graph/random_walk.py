@@ -5,6 +5,13 @@ with probability ``r`` a *general* biased second-order walk in the style of
 node2vec [39], and with probability ``1 - r`` a label-guided walk starting
 from a labeled example.  This module provides the walk primitives; the
 label-informed mixing lives in :mod:`repro.core.context_sampling`.
+
+:func:`sample_walks` — the batch entry point every pipeline stage uses —
+runs on the vectorized :class:`repro.graph.walk_engine.WalkEngine`, which
+advances all walks one step at a time over the CSR adjacency.  The scalar
+:func:`uniform_random_walk` and :func:`node2vec_walk` below are kept as
+single-walk reference implementations that the engine's equivalence tests
+check against.
 """
 
 from __future__ import annotations
@@ -78,25 +85,12 @@ def sample_walks(graph: Graph, num_walks: int, length: int,
     """Sample ``num_walks`` node2vec walks as an int array (num_walks, length).
 
     Starts default to degree-weighted node sampling, the standard NetGAN /
-    node2vec convention (walks per unit of volume).
+    node2vec convention (walks per unit of volume).  All walks advance in
+    lock-step on the graph's cached :class:`~repro.graph.walk_engine.WalkEngine`
+    rather than one at a time through :func:`node2vec_walk`.
     """
-    if num_walks <= 0:
-        raise ValueError("num_walks must be positive")
-    if starts is None:
-        deg = graph.degrees
-        total = deg.sum()
-        if total == 0:
-            starts = rng.integers(graph.num_nodes, size=num_walks)
-        else:
-            starts = rng.choice(graph.num_nodes, size=num_walks, p=deg / total)
-    else:
-        starts = np.asarray(starts, dtype=np.int64)
-        if starts.size != num_walks:
-            raise ValueError("starts must have num_walks entries")
-    walks = np.empty((num_walks, length), dtype=np.int64)
-    for i, s in enumerate(starts):
-        walks[i] = node2vec_walk(graph, int(s), length, rng, p=p, q=q)
-    return walks
+    return graph.walk_engine().walks(num_walks, length, rng,
+                                     starts=starts, p=p, q=q)
 
 
 def walks_to_edge_counts(walks: np.ndarray, num_nodes: int) -> "np.ndarray":

@@ -4,7 +4,8 @@ TagGen models graphs with a self-attention network over sampled walks; we
 reproduce its essence — maximum-likelihood training of a transformer walk
 model on biased random walks, followed by count-based assembly — without
 the temporal components (the paper benchmarks it on static graphs, so the
-temporal machinery is inert there anyway).
+temporal machinery is inert there anyway).  Each epoch's walk corpus comes
+from the batched ``sample_walks`` path on the graph's walk engine.
 """
 
 from __future__ import annotations

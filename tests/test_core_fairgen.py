@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import FairGen, FairGenConfig, make_fairgen_variant
-from repro.graph import planted_protected_graph
+from repro.graph import Graph, planted_protected_graph
 
 
 SMALL_CONFIG = FairGenConfig(
@@ -126,6 +126,61 @@ class TestGenerate:
         walks = sample_walks(graph, 8, SMALL_CONFIG.walk_length, rng)
         loss = model.reconstruction_loss(walks)
         assert np.isfinite(loss) and loss > 0
+
+
+class TestGenerationStarts:
+    """Regression: generation-time starts must match the degree-weighted
+    convention of the training walks (not uniform over nodes)."""
+
+    @staticmethod
+    def _bare_model(graph: Graph, protected_mask: np.ndarray) -> FairGen:
+        model = FairGen(SMALL_CONFIG)
+        model._fitted_graph = graph
+        model.protected_mask = protected_mask
+        return model
+
+    def test_unpinned_slice_degree_weighted(self, rng):
+        star = Graph.from_edges(9, [(0, i) for i in range(1, 9)])
+        protected = np.zeros(9, dtype=bool)
+        protected[1] = True  # tiny pin fraction (volume 1/16)
+        model = self._bare_model(star, protected)
+        starts = np.concatenate(
+            [model._generation_starts(256, rng) for _ in range(8)])
+        # The hub owns half the volume, so degree-weighted unpinned starts
+        # put it near 0.5 * (1 - pin_fraction); a uniform draw would leave
+        # it near 1/9.
+        hub_fraction = (starts == 0).mean()
+        assert 0.35 < hub_fraction < 0.6
+
+    def test_reassigning_mask_invalidates_cached_plan(self, rng):
+        star = Graph.from_edges(9, [(0, i) for i in range(1, 9)])
+        protected = np.zeros(9, dtype=bool)
+        protected[1] = True
+        model = self._bare_model(star, protected)
+        model._generation_starts(64, rng)
+        assert model._generation_plan is not None
+        model.protected_mask = np.zeros(9, dtype=bool)  # e.g. after restore
+        assert model._generation_plan is None
+        assert model._generation_starts(64, rng) is None
+
+    def test_no_protected_nodes_defers_to_generator(self, rng):
+        star = Graph.from_edges(5, [(0, i) for i in range(1, 5)])
+        model = self._bare_model(star, np.zeros(5, dtype=bool))
+        assert model._generation_starts(64, rng) is None
+
+    def test_protected_pinning_at_least_fair_share(self, rng):
+        graph, _, protected = planted_protected_graph(
+            60, 12, rng, p_in=0.3, p_out=0.03, protected_as_class=True)
+        model = self._bare_model(graph, protected)
+        starts = np.concatenate(
+            [model._generation_starts(256, rng) for _ in range(8)])
+        fair_share = graph.volume(np.flatnonzero(protected)) \
+            / graph.degrees.sum()
+        protected_fraction = protected[starts].mean()
+        # Degree-weighted starts alone land at ~fair_share; pinning adds
+        # a dedicated slice on top (~fair_share * (2 - fair_share)), so
+        # requiring a 1.3x excess fails if the pinning line is removed.
+        assert protected_fraction > 1.3 * fair_share
 
 
 class TestVariants:

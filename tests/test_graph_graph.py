@@ -65,6 +65,24 @@ class TestAccessors:
         assert path_graph.has_edge(0, 1)
         assert not path_graph.has_edge(0, 2)
 
+    def test_has_edge_high_degree_hub(self, rng):
+        """Binary-search membership must agree with the adjacency on a
+        hub with many sorted neighbors, including both boundary ids."""
+        star = Graph.from_edges(200, [(0, i) for i in range(1, 200)])
+        assert star.has_edge(0, 1) and star.has_edge(0, 199)
+        assert star.has_edge(199, 0)
+        assert not star.has_edge(1, 199)  # past leaf 1's only neighbor
+        assert not star.has_edge(1, 2)
+
+    def test_has_edge_isolated_node(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert not g.has_edge(2, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_has_edge_returns_bool(self, path_graph):
+        assert isinstance(path_graph.has_edge(0, 1), bool)
+        assert isinstance(path_graph.has_edge(0, 4), bool)
+
     def test_edges_each_once_with_u_less_v(self, triangle_graph):
         edges = triangle_graph.edges()
         assert edges.shape == (3, 2)
@@ -99,6 +117,22 @@ class TestTransitionMatrix:
         m = g.transition_matrix().toarray()
         assert m[2, 2] == 1.0
         np.testing.assert_allclose(m.sum(axis=0), 1.0)
+
+    def test_many_isolated_nodes_stay_csr_and_stochastic(self):
+        """The isolated-node patch is a sparse diagonal, not a Python
+        loop: every isolated column gets a full self-loop and the result
+        stays CSR."""
+        import scipy.sparse as sp
+
+        g = Graph.from_edges(8, [(0, 1), (2, 3)])
+        m = g.transition_matrix()
+        assert isinstance(m, sp.csr_matrix)
+        dense = m.toarray()
+        np.testing.assert_allclose(dense.sum(axis=0), 1.0)
+        for v in (4, 5, 6, 7):
+            assert dense[v, v] == 1.0
+        # Non-isolated nodes keep the lazy 1/2 self-loop.
+        np.testing.assert_allclose(np.diag(dense)[:4], 0.5)
 
     def test_matches_definition(self, triangle_graph):
         a = triangle_graph.adjacency.toarray()
