@@ -26,7 +26,7 @@ DATASET = "ACM"
 
 def _ablate():
     data = load_dataset(DATASET)
-    run = get_run("FairGen", DATASET)
+    run = get_run("FairGen", DATASET, need_model=True)
     model = run.model
     rng = np.random.default_rng(61)
     walks = model.generate_walks(

@@ -19,8 +19,8 @@ import numpy as np
 from common import format_table
 from repro.embedding import Node2VecConfig, centroid_separability, \
     node2vec_embedding
+from repro.experiments import create_model
 from repro.graph import planted_protected_graph
-from repro.models import NetGAN
 
 CHECKPOINTS = [5, 15, 30]  # scaled stand-ins for 500/1000/2000 iterations
 
@@ -32,8 +32,9 @@ def _disparity_study():
         protected_as_class=True)
     anchors = np.flatnonzero(protected)
     results = []
-    model = NetGAN(iterations=CHECKPOINTS[0], batch_size=24,
-                   walk_length=8, generation_walk_factor=10)
+    model = create_model("netgan", "bench", overrides=dict(
+        iterations=CHECKPOINTS[0], walk_length=8,
+        generation_walk_factor=10))
     trained = 0
     for checkpoint in CHECKPOINTS:
         # Continue training the same model up to the checkpoint.

@@ -37,7 +37,7 @@ def _study(dataset_name: str):
         base_features, data.labels, data.num_classes, rng, k=FOLDS)
     results = {"No Augmentation": (base_acc, base_std)}
     for model_name in MODELS:
-        run = get_run(model_name, dataset_name)
+        run = get_run(model_name, dataset_name, need_model=True)
         study = augmentation_study(
             data.graph, data.labels, data.num_classes, run.model,
             np.random.default_rng(12), embed_config=EMBED, folds=FOLDS)

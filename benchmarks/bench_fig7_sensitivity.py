@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import bench_fairgen_config, format_table
-from repro.core import FairGen
+from common import format_table
 from repro.data import load_dataset
+from repro.experiments import Supervision, create_model
 
 DATASET = "BLOG"
 WALK_LENGTHS = [6, 10, 14]
@@ -26,15 +26,13 @@ LAMBDAS = [0.2, 0.5, 1.0, 2.0]
 
 def _fit_once(walk_length: int, ratio: float, lambda_init: float):
     data = load_dataset(DATASET)
-    cfg = bench_fairgen_config().variant(
+    rng = np.random.default_rng(21)
+    model = create_model("fairgen", profile="bench", overrides=dict(
         walk_length=walk_length, sampling_ratio=ratio,
         lambda_init=lambda_init, self_paced_cycles=2,
-        walks_per_cycle=32, generator_steps_per_cycle=2)
-    rng = np.random.default_rng(21)
-    nodes, classes = data.labeled_few_shot(3, rng)
-    model = FairGen(cfg)
-    model.fit(data.graph, rng, labeled_nodes=nodes,
-              labeled_classes=classes, protected_mask=data.protected_mask)
+        walks_per_cycle=32, generator_steps_per_cycle=2))
+    supervision = Supervision.from_dataset(data, rng=rng)
+    model.fit(data.graph, rng, supervision=supervision)
     last = model.history[-1]
     gen = last["generator_loss"]
     disc = last["disc_total"]

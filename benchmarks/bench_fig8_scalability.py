@@ -13,8 +13,8 @@ import time
 import numpy as np
 import pytest
 
-from common import bench_fairgen_config, format_table, surrogate_supervision
-from repro.core import FairGen
+from common import format_table
+from repro.experiments import Supervision, create_model
 from repro.graph import erdos_renyi, node2vec_walk, sample_walks
 
 NODE_SWEEP = [120, 240, 480]
@@ -26,17 +26,13 @@ FIXED_NODES = 240
 def _time_fairgen(num_nodes: int, density: float) -> float:
     rng = np.random.default_rng(31)
     graph = erdos_renyi(num_nodes, density, rng)
-    labels, protected, num_classes = surrogate_supervision(graph)
-    nodes = np.concatenate([np.flatnonzero(labels == c)[:3]
-                            for c in range(num_classes)])
-    cfg = bench_fairgen_config().variant(
+    supervision = Supervision.surrogate_for(graph,
+                                            rng=np.random.default_rng(32))
+    model = create_model("fairgen", profile="bench", overrides=dict(
         self_paced_cycles=2, walks_per_cycle=32,
-        generator_steps_per_cycle=2, generation_walk_factor=6)
-    model = FairGen(cfg)
+        generator_steps_per_cycle=2, generation_walk_factor=6))
     start = time.perf_counter()
-    model.fit(graph, rng, labeled_nodes=nodes,
-              labeled_classes=labels[nodes], protected_mask=protected,
-              num_classes=num_classes)
+    model.fit(graph, rng, supervision=supervision)
     model.generate(rng)
     return time.perf_counter() - start
 

@@ -1,179 +1,65 @@
 """Shared infrastructure for the paper-reproduction benchmarks.
 
 Every benchmark regenerates one table or figure of the paper.  Model runs
-(fit + generate) are expensive, so they are cached per (model, dataset)
-pair and shared across benchmark files within one pytest session: Figure 5
-reuses the graphs produced for Figure 4, Table IV reuses their timings,
-and Figure 6 reuses the fitted models.
+(fit + generate) all route through the experiment API
+(:class:`repro.experiments.Runner`): models come from the registry under
+the ``"bench"`` profile, unlabeled datasets receive surrogate supervision
+(protected group = bottom-quartile-degree nodes; the paper evaluates
+FairGen on all seven datasets although four ship no labels), and runs
+are cached per spec and shared across benchmark files within one
+pytest session — Figure 5 reuses the graphs produced for Figure 4,
+Table IV reuses their timings, and Figure 6 reuses the fitted models.
 
-FairGen needs labels and a protected group.  Four of the paper's seven
-datasets (EMAIL, FB, GNU, CA) ship none, yet the paper evaluates FairGen
-on all seven; we therefore derive *surrogate* supervision for unlabeled
-graphs — protected group = bottom-quartile-degree nodes (the nodes a
-frequency-driven generator under-serves) and a two-class labeling split
-on that same axis.  This substitution is recorded in DESIGN.md.
+Set ``REPRO_BENCH_CACHE=/path`` to back the run cache with a disk
+directory that survives across pytest sessions: warm entries replay the
+generated graphs and timings without refitting anything.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+import os
 
 import numpy as np
 
-from repro.core import FairGenConfig, make_fairgen_variant
-from repro.data import Dataset, load_dataset
-from repro.graph import Graph
-from repro.models import (BAModel, ERModel, GAEModel, GraphGenerativeModel,
-                          NetGAN, TagGen)
+from repro.experiments import (ExperimentSpec, Runner, RunResult,
+                               benchmark_model_names, get_entry)
+from repro.utils import format_table  # single shared implementation
+
+__all__ = ["BENCH_SEED", "MODEL_NAMES", "get_run", "bench_runner",
+           "bench_spec", "format_table", "fmt_val"]
 
 BENCH_SEED = 20240
-FEW_SHOT_PER_CLASS = 3
 
-MODEL_NAMES = ["FairGen", "FairGen-R", "FairGen-w/o-SPL",
-               "FairGen-w/o-Parity", "ER", "BA", "GAE", "NetGAN", "TagGen"]
-FAIRGEN_VARIANTS = {"FairGen": "full", "FairGen-R": "no-sampling",
-                    "FairGen-w/o-SPL": "no-spl",
-                    "FairGen-w/o-Parity": "no-parity"}
+#: the paper's nine-method scoreboard, in Table/Figure row order
+MODEL_NAMES = benchmark_model_names()
+
+_RUNNER = Runner(cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None)
 
 
-def bench_fairgen_config() -> FairGenConfig:
-    """CPU-scale FairGen budget used across all benchmarks."""
-    return FairGenConfig(
-        walk_length=10, walks_per_cycle=96, self_paced_cycles=4,
-        generator_steps_per_cycle=80, generator_batch=32, model_dim=32,
-        num_layers=1, feature_dim=32, batch_iterations=4, batch_size=128,
-        discriminator_lr=0.05, generation_walk_factor=12)
+def bench_runner() -> Runner:
+    """The session-wide Runner every benchmark shares."""
+    return _RUNNER
 
 
-def make_model(name: str) -> GraphGenerativeModel:
-    """Fresh benchmark-budget model instance by display name."""
-    if name in FAIRGEN_VARIANTS:
-        return make_fairgen_variant(FAIRGEN_VARIANTS[name],
-                                    bench_fairgen_config())
-    simple = {
-        "ER": lambda: ERModel(),
-        "BA": lambda: BAModel(),
-        "GAE": lambda: GAEModel(epochs=40, hidden=32, latent=16),
-        "NetGAN": lambda: NetGAN(iterations=20, batch_size=24,
-                                 walk_length=10, hidden_dim=32,
-                                 generation_walk_factor=12),
-        "TagGen": lambda: TagGen(epochs=10, walks_per_epoch=128, dim=32,
-                                 num_layers=1, walk_length=10,
-                                 generation_walk_factor=12),
-    }
-    if name not in simple:
-        raise KeyError(f"unknown model {name!r}")
-    return simple[name]()
+def bench_spec(model_name: str, dataset_name: str,
+               **overrides) -> ExperimentSpec:
+    """Bench-profile spec for a (model, dataset) pair."""
+    return ExperimentSpec(model=get_entry(model_name).name,
+                          dataset=dataset_name, profile="bench",
+                          seed=BENCH_SEED, overrides=overrides)
 
 
-def surrogate_supervision(graph: Graph) -> tuple[np.ndarray, np.ndarray, int]:
-    """Degree-based labels/protected mask for unlabeled datasets.
+def get_run(model_name: str, dataset_name: str,
+            need_model: bool = False) -> RunResult:
+    """Fit + generate once per (model, dataset); cached for the session.
 
-    Protected group: bottom-quartile-degree nodes — the structurally
-    under-represented population that walk-frequency objectives neglect.
-    Classes: the same split, giving a 2-class task.
+    ``need_model=True`` guarantees ``run.model`` is a fitted model (the
+    Figure 6 augmentation study and the assembler ablation need one);
+    plain artifact consumers leave it False so a warm disk cache can
+    serve them without any fitting.
     """
-    threshold = np.quantile(graph.degrees, 0.25)
-    protected = graph.degrees <= threshold
-    if protected.all() or (~protected).all():
-        # Degenerate degree distribution: split by node id instead.
-        protected = np.arange(graph.num_nodes) < graph.num_nodes // 4
-    labels = protected.astype(np.int64)
-    return labels, protected, 2
-
-
-def dataset_supervision(data: Dataset) -> tuple[np.ndarray, np.ndarray, int]:
-    """(labels, protected_mask, num_classes) with surrogate fallback."""
-    if data.has_labels:
-        return data.labels, data.protected_mask, data.num_classes
-    return surrogate_supervision(data.graph)
-
-
-@dataclass
-class Run:
-    """One cached fit+generate execution."""
-
-    model_name: str
-    dataset_name: str
-    model: GraphGenerativeModel
-    generated: Graph
-    fit_seconds: float
-    generate_seconds: float
-
-
-_RUN_CACHE: dict[tuple[str, str], Run] = {}
-
-
-def _run_seed(model_name: str, dataset_name: str) -> int:
-    # zlib.crc32 is stable across processes (unlike str hash, which is
-    # salted per interpreter) — benchmark runs must be reproducible.
-    import zlib
-
-    digest = zlib.crc32(f"{model_name}/{dataset_name}".encode())
-    return (BENCH_SEED + digest) % (2 ** 31)
-
-
-def get_run(model_name: str, dataset_name: str) -> Run:
-    """Fit + generate once per (model, dataset); cached for the session."""
-    key = (model_name, dataset_name)
-    if key in _RUN_CACHE:
-        return _RUN_CACHE[key]
-
-    data = load_dataset(dataset_name)
-    rng = np.random.default_rng(_run_seed(model_name, dataset_name))
-    model = make_model(model_name)
-
-    start = time.perf_counter()
-    if model_name in FAIRGEN_VARIANTS:
-        labels, protected, num_classes = dataset_supervision(data)
-        label_rng = np.random.default_rng(BENCH_SEED)
-        nodes, classes = _few_shot(labels, num_classes, label_rng)
-        model.fit(data.graph, rng, labeled_nodes=nodes,
-                  labeled_classes=classes, protected_mask=protected,
-                  num_classes=num_classes)
-    else:
-        model.fit(data.graph, rng)
-    fit_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    generated = model.generate(rng)
-    generate_seconds = time.perf_counter() - start
-
-    run = Run(model_name, dataset_name, model, generated, fit_seconds,
-              generate_seconds)
-    _RUN_CACHE[key] = run
-    return run
-
-
-def _few_shot(labels: np.ndarray, num_classes: int,
-              rng: np.random.Generator,
-              per_class: int = FEW_SHOT_PER_CLASS) -> tuple[np.ndarray, np.ndarray]:
-    nodes, classes = [], []
-    for cls in range(num_classes):
-        members = np.flatnonzero(labels == cls)
-        take = min(per_class, members.size)
-        chosen = rng.choice(members, size=take, replace=False)
-        nodes.append(chosen)
-        classes.append(np.full(take, cls, dtype=np.int64))
-    return np.concatenate(nodes), np.concatenate(classes)
-
-
-def protected_mask_for(dataset_name: str) -> np.ndarray:
-    data = load_dataset(dataset_name)
-    _, protected, _ = dataset_supervision(data)
-    return protected
-
-
-def format_table(headers: list[str], rows: list[list[str]]) -> str:
-    """Plain-text table used by every benchmark's printed report."""
-    widths = [max(len(str(headers[i])),
-                  max((len(str(r[i])) for r in rows), default=0))
-              for i in range(len(headers))]
-    def fmt(row):
-        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
-    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
-    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+    return _RUNNER.run(bench_spec(model_name, dataset_name),
+                       need_model=need_model)
 
 
 def fmt_val(value: float) -> str:

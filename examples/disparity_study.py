@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import FairGen, FairGenConfig
 from repro.embedding import (Node2VecConfig, centroid_separability,
                              node2vec_embedding)
+from repro.experiments import Supervision, create_model
 from repro.graph import planted_protected_graph
-from repro.models import NetGAN
 
 EMBED = Node2VecConfig(dim=16, walks_per_node=6, epochs=3, walk_length=8)
 
@@ -38,7 +37,8 @@ def main() -> None:
           f"{int(protected.sum())} protected")
 
     # --- NetGAN at increasing training checkpoints -------------------
-    model = NetGAN(iterations=5, batch_size=24, walk_length=8)
+    model = create_model("netgan", "bench", overrides=dict(
+        iterations=5, walk_length=8, generation_walk_factor=20))
     model.fit(graph, np.random.default_rng(14))
     trained = 5
     for checkpoint in (5, 15, 30):
@@ -55,14 +55,12 @@ def main() -> None:
         print(f"{'':<24} S+ separability  {sep:.3f}")
 
     # --- FairGen ------------------------------------------------------
-    few = np.concatenate([np.flatnonzero(labels == c)[:3] for c in range(3)])
-    fairgen = FairGen(FairGenConfig(
+    fairgen = create_model("fairgen", "bench", overrides=dict(
         walk_length=8, self_paced_cycles=3, walks_per_cycle=64,
-        generator_steps_per_cycle=40, batch_iterations=4,
-        discriminator_lr=0.05))
-    fairgen.fit(graph, np.random.default_rng(14), labeled_nodes=few,
-                labeled_classes=labels[few], protected_mask=protected,
-                num_classes=3)
+        generator_steps_per_cycle=40))
+    supervision = Supervision.from_labels(labels, protected,
+                                          rng=np.random.default_rng(17))
+    fairgen.fit(graph, np.random.default_rng(14), supervision=supervision)
     walks = fairgen.generate_walks(400, np.random.default_rng(15))
     generated = fairgen.generate(np.random.default_rng(15))
     emb = node2vec_embedding(generated, EMBED, np.random.default_rng(16))

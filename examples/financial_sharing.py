@@ -21,10 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import FairGen, FairGenConfig
 from repro.eval import mean_discrepancy, protected_discrepancy
+from repro.experiments import Supervision, create_model
 from repro.graph import planted_protected_graph
-from repro.models import TagGen
 
 
 def edge_overlap(original, released) -> float:
@@ -44,23 +43,18 @@ def main() -> None:
     print(f"transaction network: {graph.num_nodes} accounts, "
           f"{graph.num_edges} transactions, {int(flagged.sum())} flagged")
 
-    # Domain experts red-flag a handful of accounts per class.
-    few_nodes, few_classes = [], []
-    for cls in range(int(labels.max()) + 1):
-        members = np.flatnonzero(labels == cls)[:3]
-        few_nodes.extend(members.tolist())
-        few_classes.extend([cls] * members.size)
-    few_nodes = np.array(few_nodes)
-    few_classes = np.array(few_classes)
+    # Domain experts red-flag a handful of accounts per class: the
+    # few-shot labeled set inside the supervision contract.
+    supervision = Supervision.from_labels(labels, flagged,
+                                          rng=np.random.default_rng(10))
 
-    # Train FairGen and the unsupervised baseline.
-    config = FairGenConfig(self_paced_cycles=4, walks_per_cycle=96,
-                           generator_steps_per_cycle=80,
-                           batch_iterations=4, discriminator_lr=0.05)
-    fairgen = FairGen(config)
-    fairgen.fit(graph, rng, labeled_nodes=few_nodes,
-                labeled_classes=few_classes, protected_mask=flagged)
-    baseline = TagGen(epochs=25, walks_per_epoch=128, num_layers=1)
+    # Train FairGen and the unsupervised baseline, both built from the
+    # model registry under the benchmark profile.
+    fairgen = create_model("fairgen", "bench", overrides=dict(
+        num_layers=2, generation_walk_factor=20))
+    fairgen.fit(graph, rng, supervision=supervision)
+    baseline = create_model("taggen", "bench", overrides=dict(
+        epochs=25, walk_length=10, generation_walk_factor=20))
     baseline.fit(graph, np.random.default_rng(8))
 
     print("\nreleased graph              edge-overlap   flagged R+ (mean)")

@@ -1,18 +1,21 @@
-"""Quickstart: train FairGen on a labeled benchmark graph and inspect the
+"""Quickstart: run FairGen through the experiment API and inspect the
 generated graph's quality and fairness.
+
+Models are built from the registry (``repro.registry``) under a named
+hyperparameter profile and executed by the spec-driven Runner, which
+caches artifacts on disk — re-running this script replays the generated
+graph from ``.repro_cache`` without refitting.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import FairGen, FairGenConfig
 from repro.data import load_dataset
-from repro.eval import (mean_discrepancy, overall_discrepancy,
-                        protected_discrepancy)
+from repro.experiments import ExperimentSpec, Runner
 from repro.graph.metrics import all_metrics
+
+CACHE_DIR = ".repro_cache"
 
 
 def main() -> None:
@@ -22,29 +25,29 @@ def main() -> None:
           f"{data.graph.num_edges} edges, {data.num_classes} classes, "
           f"{int(data.protected_mask.sum())} protected nodes")
 
-    # 2. Draw the few-shot labeled set L (3 labeled nodes per class).
-    rng = np.random.default_rng(0)
-    labeled_nodes, labeled_classes = data.labeled_few_shot(3, rng)
-    print(f"few-shot labels: {labeled_nodes.size} nodes across "
-          f"{data.num_classes} classes")
+    # 2. Describe the experiment: model (by registry name), dataset,
+    #    hyperparameter profile and seed.  "smoke" is a laptop-scale
+    #    budget; use "bench" or "paper" for quality.
+    spec = ExperimentSpec(model="fairgen", dataset="BLOG",
+                          profile="smoke", seed=0)
 
-    # 3. Configure and train FairGen (Algorithm 1).  The config below is
-    #    a laptop-scale budget; raise the cycle/step counts for quality.
-    config = FairGenConfig(self_paced_cycles=3, walks_per_cycle=64,
-                           generator_steps_per_cycle=40,
-                           batch_iterations=4, discriminator_lr=0.05)
-    model = FairGen(config)
-    model.fit(data.graph, rng, labeled_nodes=labeled_nodes,
-              labeled_classes=labeled_classes,
-              protected_mask=data.protected_mask)
-    for record in model.history:
-        print(f"  cycle {int(record['cycle'])}: "
-              f"generator loss {record['generator_loss']:.2f}, "
-              f"lambda {record['lambda']:.2f}, "
-              f"pseudo labels {int(record['num_pseudo_labels'])}")
+    # 3. Execute through the Runner.  The first run fits and generates;
+    #    re-running this script finds the artifact in CACHE_DIR and
+    #    performs zero model fitting.
+    runner = Runner(cache_dir=CACHE_DIR)
+    result = runner.run(spec, with_metrics=True)
+    print(f"fit: {result.fit_seconds:.2f}s  "
+          f"generate: {result.generate_seconds:.2f}s"
+          f"{'  (replayed from cache)' if result.from_cache else ''}")
+    if result.model is not None:  # None when served from the disk cache
+        for record in result.model.history:
+            print(f"  cycle {int(record['cycle'])}: "
+                  f"generator loss {record['generator_loss']:.2f}, "
+                  f"lambda {record['lambda']:.2f}, "
+                  f"pseudo labels {int(record['num_pseudo_labels'])}")
 
-    # 4. Generate a synthetic graph with the fair assembling strategy.
-    generated = model.generate(rng)
+    # 4. The generated graph with the fair assembling strategy.
+    generated = result.generated
     print(f"generated: {generated}")
 
     # 5. Compare the nine Table II statistics.
@@ -54,12 +57,13 @@ def main() -> None:
     for name in orig:
         print(f"{name:<10} {orig[name]:>9.3f}  {gen[name]:>9.3f}")
 
-    # 6. Overall and protected-group discrepancy (Eqs. 15-16).
-    r_all = overall_discrepancy(data.graph, generated, aspl_sample=120)
-    r_prot = protected_discrepancy(data.graph, generated,
-                                   data.protected_mask, aspl_sample=120)
-    print(f"\nmean overall discrepancy R:    {mean_discrepancy(r_all):.4f}")
-    print(f"mean protected discrepancy R+: {mean_discrepancy(r_prot):.4f}")
+    # 6. Overall and protected-group discrepancy (Eqs. 15-16) come with
+    #    the run when with_metrics=True.
+    print(f"\nmean overall discrepancy R:    "
+          f"{result.metrics['overall_mean']:.4f}")
+    print(f"mean protected discrepancy R+: "
+          f"{result.metrics['protected_mean']:.4f}")
+    print(f"\nartifact cache: {CACHE_DIR}/{spec.cache_key()}.npz")
 
 
 if __name__ == "__main__":

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import FairGen, FairGenConfig
 from repro.data import load_dataset
 from repro.embedding import Node2VecConfig, node2vec_embedding
 from repro.eval import augmentation_study, cross_validated_accuracy
-from repro.models import GAEModel
+from repro.experiments import ExperimentSpec, Runner
 
 
 def main() -> None:
@@ -35,30 +34,27 @@ def main() -> None:
         features, data.labels, data.num_classes, rng, k=10)
     print(f"no augmentation:     accuracy {base_acc:.4f} (+/- {base_std:.4f})")
 
-    # FairGen augmentation.
-    nodes, classes = data.labeled_few_shot(3, rng)
-    fairgen = FairGen(FairGenConfig(self_paced_cycles=3, walks_per_cycle=64,
-                                    generator_steps_per_cycle=40,
-                                    batch_iterations=4,
-                                    discriminator_lr=0.05))
-    fairgen.fit(data.graph, rng, labeled_nodes=nodes,
-                labeled_classes=classes,
-                protected_mask=data.protected_mask)
-    result = augmentation_study(data.graph, data.labels, data.num_classes,
-                                fairgen, np.random.default_rng(4),
-                                embed_config=embed)
-    gain = (result.augmented_accuracy - base_acc) / base_acc
-    print(f"FairGen augmented:   accuracy {result.augmented_accuracy:.4f} "
-          f"(+/- {result.augmented_std:.4f}) — gain {gain:+.2%}")
-
-    # Unsupervised baseline augmentation.
-    gae = GAEModel(epochs=40).fit(data.graph, np.random.default_rng(5))
-    result = augmentation_study(data.graph, data.labels, data.num_classes,
-                                gae, np.random.default_rng(4),
-                                embed_config=embed)
-    gain = (result.augmented_accuracy - base_acc) / base_acc
-    print(f"GAE augmented:       accuracy {result.augmented_accuracy:.4f} "
-          f"(+/- {result.augmented_std:.4f}) — gain {gain:+.2%}")
+    # Both augmentation models run through the experiment API; the
+    # study needs fitted models, so the runs ask for need_model=True.
+    runner = Runner()
+    specs = {
+        "FairGen": ExperimentSpec(
+            model="fairgen", dataset="BLOG", profile="bench", seed=3,
+            overrides=dict(self_paced_cycles=3, walks_per_cycle=64,
+                           generator_steps_per_cycle=40)),
+        "GAE": ExperimentSpec(model="gae", dataset="BLOG",
+                              profile="bench", seed=5),
+    }
+    for name, spec in specs.items():
+        run = runner.run(spec, need_model=True)
+        result = augmentation_study(data.graph, data.labels,
+                                    data.num_classes, run.model,
+                                    np.random.default_rng(4),
+                                    embed_config=embed)
+        gain = (result.augmented_accuracy - base_acc) / base_acc
+        print(f"{name + ' augmented:':<20} "
+              f"accuracy {result.augmented_accuracy:.4f} "
+              f"(+/- {result.augmented_std:.4f}) — gain {gain:+.2%}")
 
 
 if __name__ == "__main__":

@@ -12,25 +12,26 @@ Public API overview
 ``repro.eval``      — discrepancy (Eqs. 15/16), classification,
                       data augmentation.
 ``repro.nn``        — the NumPy autograd substrate everything trains on.
+``repro.registry``  — the model registry: every generator under a
+                      canonical name with paper/bench/smoke profiles.
+``repro.experiments`` — the spec-driven experiment API
+                      (:class:`~repro.experiments.Runner`) every harness
+                      routes through.
 
 Quickstart::
 
-    import numpy as np
-    from repro.core import FairGen, FairGenConfig
-    from repro.data import load_dataset
+    from repro.experiments import ExperimentSpec, Runner
 
-    data = load_dataset("BLOG")
-    rng = np.random.default_rng(0)
-    nodes, classes = data.labeled_few_shot(3, rng)
-    model = FairGen(FairGenConfig(self_paced_cycles=2))
-    model.fit(data.graph, rng, labeled_nodes=nodes, labeled_classes=classes,
-              protected_mask=data.protected_mask)
-    synthetic = model.generate(rng)
+    runner = Runner(cache_dir=".repro_cache")
+    result = runner.run(ExperimentSpec(model="fairgen", dataset="BLOG",
+                                       profile="smoke", seed=0))
+    synthetic = result.generated
 """
 
-from . import core, data, embedding, eval, graph, models, nn, utils
+from . import (core, data, embedding, eval, experiments, graph, models, nn,
+               registry, utils)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["core", "data", "embedding", "eval", "graph", "models", "nn",
-           "utils", "__version__"]
+__all__ = ["core", "data", "embedding", "eval", "experiments", "graph",
+           "models", "nn", "registry", "utils", "__version__"]

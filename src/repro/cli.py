@@ -3,12 +3,17 @@
 Commands
 --------
 ``datasets``   print Table I-style statistics of the bundled datasets
+``models``     print the model registry (names, profiles, supervision)
 ``generate``   fit a model on a dataset and report generation quality
 ``evaluate``   overall + protected discrepancy of a fitted model
 ``augment``    run the Figure 6 data-augmentation study
 
-The CLI exists so the headline experiments can be driven without writing
-Python; every command is a thin wrapper over the public API.
+Every model run routes through the experiment API
+(:class:`repro.experiments.Runner`): models are built from the registry
+under a named hyperparameter profile (``--profile paper|bench|smoke``),
+unlabeled datasets receive surrogate supervision for label-aware models
+(disable with ``--no-surrogate-labels``), and ``--cache-dir`` enables the
+disk-backed artifact cache so repeated invocations skip fitting.
 """
 
 from __future__ import annotations
@@ -18,30 +23,40 @@ import sys
 
 import numpy as np
 
-from .core import FairGen, FairGenConfig, make_fairgen_variant
-from .data import dataset_names, dataset_statistics, load_dataset
-from .eval import (augmentation_study, mean_discrepancy,
-                   overall_discrepancy, protected_discrepancy)
-from .models import BAModel, ERModel, GAEModel, GraphRNN, NetGAN, TagGen
-from .utils import Timer, format_table
+from .data import (dataset_names, dataset_statistics, labeled_dataset_names,
+                   load_dataset)
+from .eval import augmentation_study
+from .experiments import ExperimentSpec, Runner
+from .graph.metrics import METRIC_NAMES
+from .registry import get_entry, model_names, profile_names
+from .utils import format_table
 
 __all__ = ["main", "build_parser"]
 
-_BASELINES = {
-    "er": ERModel,
-    "ba": BAModel,
-    "gae": GAEModel,
-    "netgan": NetGAN,
-    "taggen": TagGen,
-    "graphrnn": GraphRNN,
-}
-_FAIRGEN_VARIANTS = {
-    "fairgen": "full",
-    "fairgen-r": "no-sampling",
-    "fairgen-no-spl": "no-spl",
-    "fairgen-no-parity": "no-parity",
-}
-MODEL_CHOICES = sorted(_BASELINES) + sorted(_FAIRGEN_VARIANTS)
+MODEL_CHOICES = sorted(model_names())
+
+
+def _add_run_arguments(cmd: argparse.ArgumentParser,
+                       datasets: list[str] | None = None) -> None:
+    """Arguments shared by every command that executes a model run."""
+    cmd.add_argument("--dataset", required=True,
+                     choices=datasets or dataset_names())
+    cmd.add_argument("--model", required=True, choices=MODEL_CHOICES)
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument("--profile", choices=profile_names(), default="paper",
+                     help="hyperparameter profile from the model registry")
+    cmd.add_argument("--cycles", type=int, default=None,
+                     help="override FairGen self-paced cycles")
+    cmd.add_argument("--generator-steps", type=int, default=None,
+                     help="override FairGen generator steps per cycle")
+    cmd.add_argument("--cache-dir", default=None,
+                     help="directory of the disk-backed artifact cache; "
+                          "warm entries skip fitting entirely")
+    cmd.add_argument("--surrogate-labels", default=True,
+                     action=argparse.BooleanOptionalAction,
+                     help="derive degree-based surrogate supervision for "
+                          "unlabeled datasets when a label-aware model "
+                          "is requested (default: on)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,49 +65,52 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="print dataset statistics")
+    sub.add_parser("models", help="print the model registry")
 
     for name in ("generate", "evaluate"):
         cmd = sub.add_parser(name, help=f"{name} a model on a dataset")
-        cmd.add_argument("--dataset", required=True,
-                         choices=dataset_names())
-        cmd.add_argument("--model", required=True, choices=MODEL_CHOICES)
-        cmd.add_argument("--seed", type=int, default=0)
-        cmd.add_argument("--cycles", type=int, default=3,
-                         help="FairGen self-paced cycles")
-        cmd.add_argument("--generator-steps", type=int, default=40,
-                         help="FairGen generator steps per cycle")
+        _add_run_arguments(cmd)
 
     aug = sub.add_parser("augment", help="Figure 6 augmentation study")
-    aug.add_argument("--dataset", required=True,
-                     choices=["BLOG", "FLICKR", "ACM"])
-    aug.add_argument("--model", required=True, choices=MODEL_CHOICES)
-    aug.add_argument("--seed", type=int, default=0)
+    # The augmentation study measures classification accuracy, which
+    # needs the dataset's real labels — surrogate supervision is not a
+    # substitute here, so only the labeled datasets are accepted.
+    _add_run_arguments(aug, datasets=labeled_dataset_names())
     aug.add_argument("--fraction", type=float, default=0.05)
-    aug.add_argument("--cycles", type=int, default=3)
-    aug.add_argument("--generator-steps", type=int, default=40)
     return parser
 
 
-def _build_model(args):
-    if args.model in _BASELINES:
-        return _BASELINES[args.model]()
-    config = FairGenConfig(self_paced_cycles=args.cycles,
-                           generator_steps_per_cycle=args.generator_steps,
-                           batch_iterations=4, discriminator_lr=0.05)
-    return make_fairgen_variant(_FAIRGEN_VARIANTS[args.model], config)
+def _spec(args) -> ExperimentSpec:
+    """The experiment spec described by the parsed CLI arguments."""
+    overrides = {}
+    if get_entry(args.model).needs_supervision:
+        if args.cycles is not None:
+            overrides["self_paced_cycles"] = args.cycles
+        if args.generator_steps is not None:
+            overrides["generator_steps_per_cycle"] = args.generator_steps
+    return ExperimentSpec(model=args.model, dataset=args.dataset,
+                          profile=args.profile, seed=args.seed,
+                          overrides=overrides)
 
 
-def _fit(model, data, rng) -> None:
-    if isinstance(model, FairGen):
-        if not data.has_labels:
-            raise SystemExit(f"{data.name} has no labels; FairGen variants "
-                             "need a labeled dataset (BLOG, FLICKR, ACM)")
-        nodes, classes = data.labeled_few_shot(3, rng)
-        model.fit(data.graph, rng, labeled_nodes=nodes,
-                  labeled_classes=classes,
-                  protected_mask=data.protected_mask)
-    else:
-        model.fit(data.graph, rng)
+def _runner(args) -> Runner:
+    return Runner(cache_dir=args.cache_dir,
+                  allow_surrogate=args.surrogate_labels)
+
+
+def _run(runner: Runner, args, **kwargs):
+    """Execute the requested spec, turning config errors into exit codes.
+
+    Only spec/supervision *resolution* errors become clean exits;
+    genuine runtime failures inside fit/generate keep their traceback.
+    """
+    try:
+        spec = _spec(args)
+        if get_entry(spec.model).needs_supervision:
+            runner.supervision_for(spec)  # unlabeled + --no-surrogate-labels
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(str(exc)) from exc
+    return runner.run(spec, **kwargs)
 
 
 def _cmd_datasets(_args) -> int:
@@ -106,55 +124,66 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
+def _cmd_models(_args) -> int:
+    rows = []
+    for name in model_names():
+        entry = get_entry(name)
+        rows.append([name, entry.display_name,
+                     "yes" if entry.needs_supervision else "no",
+                     ", ".join(sorted(entry.profiles))])
+    print(format_table(["name", "display", "labels", "profiles"], rows))
+    return 0
+
+
 def _cmd_generate(args) -> int:
-    data = load_dataset(args.dataset)
-    rng = np.random.default_rng(args.seed)
-    model = _build_model(args)
-    with Timer() as fit_time:
-        _fit(model, data, rng)
-    with Timer() as gen_time:
-        generated = model.generate(rng)
-    print(f"model={model.name} dataset={data.name}")
-    print(f"fit: {fit_time.seconds:.2f}s  generate: {gen_time.seconds:.2f}s")
+    runner = _runner(args)
+    result = _run(runner, args, need_model=False)
+    data = runner.dataset(args.dataset)
+    cached = " (cached)" if result.from_cache else ""
+    print(f"model={result.model_name} dataset={data.name} "
+          f"profile={args.profile}{cached}")
+    print(f"fit: {result.fit_seconds:.2f}s  "
+          f"generate: {result.generate_seconds:.2f}s")
     print(f"original:  {data.graph}")
-    print(f"generated: {generated}")
+    print(f"generated: {result.generated}")
     return 0
 
 
 def _cmd_evaluate(args) -> int:
-    data = load_dataset(args.dataset)
-    rng = np.random.default_rng(args.seed)
-    model = _build_model(args)
-    _fit(model, data, rng)
-    generated = model.generate(rng)
-    overall = overall_discrepancy(data.graph, generated, aspl_sample=120)
-    rows = [[name, f"{value:.4f}"] for name, value in overall.items()]
-    rows.append(["mean R", f"{mean_discrepancy(overall):.4f}"])
-    if data.protected_mask is not None:
-        prot = protected_discrepancy(data.graph, generated,
-                                     data.protected_mask, aspl_sample=120)
-        rows.append(["mean R+", f"{mean_discrepancy(prot):.4f}"])
+    result = _run(_runner(args), args, with_metrics=True)
+    metrics = result.metrics
+    rows = [[name, f"{metrics['overall'][name]:.4f}"]
+            for name in METRIC_NAMES]
+    rows.append(["mean R", f"{metrics['overall_mean']:.4f}"])
+    if "protected" in metrics:
+        label = ("mean R+ (surrogate)"
+                 if metrics.get("protected_surrogate") else "mean R+")
+        rows.append([label, f"{metrics['protected_mean']:.4f}"])
     print(format_table(["metric", "discrepancy"], rows))
     return 0
 
 
 def _cmd_augment(args) -> int:
-    data = load_dataset(args.dataset)
-    rng = np.random.default_rng(args.seed)
-    model = _build_model(args)
-    _fit(model, data, rng)
-    result = augmentation_study(data.graph, data.labels, data.num_classes,
-                                model, rng, fraction=args.fraction)
-    print(f"baseline accuracy:  {result.baseline_accuracy:.4f} "
-          f"(+/- {result.baseline_std:.4f})")
-    print(f"augmented accuracy: {result.augmented_accuracy:.4f} "
-          f"(+/- {result.augmented_std:.4f})")
-    print(f"relative gain:      {result.improvement:+.2%}")
+    # Unlabeled datasets are already rejected by the subparser's
+    # --dataset choices (labeled_dataset_names()).
+    runner = _runner(args)
+    data = runner.dataset(args.dataset)
+    result = _run(runner, args, need_model=True)
+    study = augmentation_study(data.graph, data.labels, data.num_classes,
+                               result.model,
+                               np.random.default_rng(args.seed),
+                               fraction=args.fraction)
+    print(f"baseline accuracy:  {study.baseline_accuracy:.4f} "
+          f"(+/- {study.baseline_std:.4f})")
+    print(f"augmented accuracy: {study.augmented_accuracy:.4f} "
+          f"(+/- {study.augmented_std:.4f})")
+    print(f"relative gain:      {study.improvement:+.2%}")
     return 0
 
 
 _COMMANDS = {
     "datasets": _cmd_datasets,
+    "models": _cmd_models,
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "augment": _cmd_augment,

@@ -7,7 +7,8 @@ from .fairness import (cost_sensitive_weights, group_class_means,
                        parity_loss, statistical_parity_gap)
 from .self_paced import SelfPacedState
 from .fairgen import FairGen, make_fairgen_variant
-from .serialization import load_fairgen, save_fairgen
+from .serialization import (load_fairgen, load_graph, save_fairgen,
+                            save_graph)
 
 __all__ = [
     "FairGenConfig",
@@ -17,5 +18,5 @@ __all__ = [
     "statistical_parity_gap",
     "SelfPacedState",
     "FairGen", "make_fairgen_variant",
-    "save_fairgen", "load_fairgen",
+    "save_fairgen", "load_fairgen", "save_graph", "load_graph",
 ]

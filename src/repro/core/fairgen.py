@@ -76,6 +76,7 @@ class FairGen(GraphGenerativeModel):
     # Training (Algorithm 1)
     # ------------------------------------------------------------------
     def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None,
             labeled_nodes: np.ndarray | None = None,
             labeled_classes: np.ndarray | None = None,
             protected_mask: np.ndarray | None = None,
@@ -85,6 +86,11 @@ class FairGen(GraphGenerativeModel):
 
         Parameters
         ----------
+        supervision:
+            A :class:`repro.experiments.Supervision` bundling the
+            few-shot labeled set, protected mask and class count — the
+            uniform fit contract used by the experiment Runner.  Explicit
+            keyword arrays below take precedence over its fields.
         labeled_nodes, labeled_classes:
             The few-shot labeled set ``L`` (at least one node per class).
         protected_mask:
@@ -98,6 +104,22 @@ class FairGen(GraphGenerativeModel):
         cfg = self.config
         self._fitted_graph = graph
         n = graph.num_nodes
+
+        if supervision is not None:
+            if (labeled_nodes is None) != (labeled_classes is None):
+                raise ValueError(
+                    "labeled_nodes and labeled_classes must be "
+                    "overridden together when supervision is given — a "
+                    "partial override would pair nodes with another "
+                    "draw's classes")
+            if labeled_nodes is None:
+                labeled_nodes = supervision.labeled_nodes
+            if labeled_classes is None:
+                labeled_classes = supervision.labeled_classes
+            if protected_mask is None:
+                protected_mask = supervision.protected_mask
+            if num_classes is None:
+                num_classes = supervision.num_classes
 
         if labeled_nodes is None or protected_mask is None:
             raise ValueError("FairGen requires labeled nodes and a "

@@ -1,11 +1,18 @@
-"""Persistence for trained FairGen models.
+"""Persistence for graphs and trained FairGen models.
 
-A fitted FairGen can be shipped without the training pipeline: the
-archive stores the configuration, the generator and discriminator
-parameters, the node features and the protected mask.  Loading against
-the original graph restores a model that can ``generate`` and
-``propose_edges`` (the self-paced training state is not preserved —
-reloading is for inference, not for resuming Algorithm 1).
+Two artifact families live here:
+
+* :func:`save_graph` / :func:`load_graph` — any :class:`~repro.graph.Graph`
+  as a compressed ``.npz`` (CSR structure only; edge weights are binary).
+  This is the storage format of the experiment Runner's disk cache
+  (:mod:`repro.experiments`).
+* :func:`save_fairgen` / :func:`load_fairgen` — a fitted FairGen without
+  the training pipeline: the archive stores the configuration, the
+  generator and discriminator parameters, the node features and the
+  protected mask.  Loading against the original graph restores a model
+  that can ``generate`` and ``propose_edges`` (the self-paced training
+  state is not preserved — reloading is for inference, not for resuming
+  Algorithm 1).
 """
 
 from __future__ import annotations
@@ -22,7 +29,41 @@ from .discriminator import FairDiscriminator
 from .fairgen import FairGen
 from ..models.walk_lm import TransformerWalkModel
 
-__all__ = ["save_fairgen", "load_fairgen"]
+__all__ = ["save_graph", "load_graph", "save_fairgen", "load_fairgen"]
+
+
+def save_graph(graph: Graph, path: str | os.PathLike) -> None:
+    """Serialise a graph to a compressed ``.npz`` archive.
+
+    Only the CSR structure is stored (indptr + indices); adjacency
+    weights are binary by construction, so the archive is roughly the
+    size of the edge list.
+    """
+    adj = graph.adjacency
+    np.savez_compressed(
+        path,
+        format=np.frombuffer(b"graph-csr-v1", dtype=np.uint8),
+        num_nodes=np.array([graph.num_nodes], dtype=np.int64),
+        indptr=adj.indptr.astype(np.int64),
+        indices=adj.indices.astype(np.int64))
+
+
+def load_graph(path: str | os.PathLike) -> Graph:
+    """Restore a graph saved by :func:`save_graph`."""
+    import scipy.sparse as sp
+
+    with np.load(path) as archive:
+        if "format" not in archive:
+            raise ValueError(f"{path} is not a graph archive")
+        fmt = archive["format"].tobytes().decode()
+        if fmt != "graph-csr-v1":
+            raise ValueError(f"{path}: unsupported graph archive "
+                             f"format {fmt!r}")
+        n = int(archive["num_nodes"][0])
+        indptr = archive["indptr"]
+        indices = archive["indices"]
+    data = np.ones(indices.size, dtype=np.float64)
+    return Graph(sp.csr_matrix((data, indices, indptr), shape=(n, n)))
 
 
 def save_fairgen(model: FairGen, path: str | os.PathLike) -> None:

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..graph import Graph, barabasi_albert, planted_protected_graph, \
     stochastic_block_model
+from ..utils import few_shot_labels
 
 __all__ = ["Dataset", "load_dataset", "dataset_names", "labeled_dataset_names",
            "dataset_statistics"]
@@ -60,16 +61,8 @@ class Dataset:
         """
         if not self.has_labels:
             raise ValueError(f"dataset {self.name} has no labels")
-        nodes, classes = [], []
-        for cls in range(self.num_classes):
-            members = np.flatnonzero(self.labels == cls)
-            if members.size == 0:
-                raise ValueError(f"class {cls} has no members")
-            take = min(per_class, members.size)
-            chosen = rng.choice(members, size=take, replace=False)
-            nodes.append(chosen)
-            classes.append(np.full(take, cls, dtype=np.int64))
-        return np.concatenate(nodes), np.concatenate(classes)
+        return few_shot_labels(self.labels, self.num_classes, rng,
+                               per_class)
 
 
 def _email(rng: np.random.Generator) -> Dataset:

@@ -69,8 +69,19 @@ class GraphGenerativeModel(abc.ABC):
         return self._fitted_graph
 
     @abc.abstractmethod
-    def fit(self, graph: Graph, rng: np.random.Generator) -> "GraphGenerativeModel":
-        """Learn the model from an observed graph.  Returns ``self``."""
+    def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None) -> "GraphGenerativeModel":
+        """Learn the model from an observed graph.  Returns ``self``.
+
+        ``supervision`` is an optional
+        :class:`repro.experiments.Supervision` carrying labels, the
+        few-shot labeled set and the protected mask.  The contract is
+        uniform across the model zoo: label-aware models (FairGen and
+        its ablations) consume it, unsupervised baselines accept and
+        ignore it — so every harness can call
+        ``model.fit(graph, rng, supervision=...)`` without branching on
+        the model type.
+        """
 
     @abc.abstractmethod
     def generate(self, rng: np.random.Generator) -> Graph:

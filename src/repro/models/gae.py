@@ -63,7 +63,8 @@ class GAEModel(GraphGenerativeModel):
         self._z_mean: np.ndarray | None = None
         self.loss_history: list[float] = []
 
-    def fit(self, graph: Graph, rng: np.random.Generator) -> "GAEModel":
+    def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None) -> "GAEModel":
         self._fitted_graph = graph
         n = graph.num_nodes
         a_hat = Tensor(normalized_adjacency(graph))

@@ -126,7 +126,8 @@ class GraphRNN(GraphGenerativeModel):
             total = total + piece
         return total * (1.0 / length)
 
-    def fit(self, graph: Graph, rng: np.random.Generator) -> "GraphRNN":
+    def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None) -> "GraphRNN":
         self._fitted_graph = graph
         self.bandwidth = min(self.max_bandwidth,
                              estimate_bandwidth(graph, rng))

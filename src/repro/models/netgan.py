@@ -128,7 +128,8 @@ class NetGAN(GraphGenerativeModel):
         one_hot[rows, cols, walks] = 1.0
         return Tensor(one_hot)
 
-    def fit(self, graph: Graph, rng: np.random.Generator) -> "NetGAN":
+    def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None) -> "NetGAN":
         self._fitted_graph = graph
         n = graph.num_nodes
         self.generator = NetGANGenerator(n, self.latent_dim, self.hidden_dim,

@@ -25,7 +25,8 @@ class ERModel(GraphGenerativeModel):
         super().__init__()
         self._p: float | None = None
 
-    def fit(self, graph: Graph, rng: np.random.Generator) -> "ERModel":
+    def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None) -> "ERModel":
         self._fitted_graph = graph
         self._p = graph.density()
         return self
@@ -44,7 +45,8 @@ class BAModel(GraphGenerativeModel):
         super().__init__()
         self._attach: int | None = None
 
-    def fit(self, graph: Graph, rng: np.random.Generator) -> "BAModel":
+    def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None) -> "BAModel":
         if graph.num_nodes < 2:
             raise ValueError("graph too small for a BA fit")
         self._fitted_graph = graph

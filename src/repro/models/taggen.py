@@ -43,7 +43,8 @@ class TagGen(GraphGenerativeModel):
         self.model: TransformerWalkModel | None = None
         self.loss_history: list[float] = []
 
-    def fit(self, graph: Graph, rng: np.random.Generator) -> "TagGen":
+    def fit(self, graph: Graph, rng: np.random.Generator,
+            supervision=None) -> "TagGen":
         self._fitted_graph = graph
         self.model = TransformerWalkModel(graph.num_nodes, self.dim,
                                           self.num_heads, self.num_layers,

@@ -1,0 +1,263 @@
+"""Model registry: one table of generators, profiles and display names.
+
+Before this module existed the repo carried three divergent model tables
+(``cli._BASELINES``, ``benchmarks.common.make_model`` and ad-hoc
+constructor calls in the examples), each with its own hyperparameter
+budget.  The registry replaces all of them: every generator is registered
+once under a canonical lowercase name together with named hyperparameter
+**profiles**:
+
+``"paper"``
+    paper-faithful defaults (the constructor / ``FairGenConfig`` defaults);
+``"bench"``
+    the CPU-scale budget used by every ``benchmarks/bench_*.py`` file;
+``"smoke"``
+    a seconds-scale budget for CI smoke tests and quick CLI runs.
+
+Usage::
+
+    from repro.registry import create_model, model_names
+
+    model = create_model("fairgen", profile="bench")
+    model = create_model("netgan", profile="smoke",
+                         overrides={"iterations": 2})
+
+New generators self-register with the decorator::
+
+    @register_model("mymodel", display_name="MyModel",
+                    profiles={"paper": {}, "bench": {"epochs": 10},
+                              "smoke": {"epochs": 2}})
+    def _build_mymodel(**params):
+        return MyModel(**params)
+
+Display names (``FairGen-w/o-SPL``, ``TagGen``, ...) are registered as
+aliases, so benchmark tables and the CLI resolve to the same entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from .core import FairGenConfig, make_fairgen_variant
+from .models import (BAModel, ERModel, GAEModel, GraphGenerativeModel,
+                     GraphRNN, NetGAN, TagGen)
+
+__all__ = ["ModelEntry", "register_model", "get_entry", "create_model",
+           "model_names", "benchmark_model_names", "display_name",
+           "profile_names", "PROFILES"]
+
+#: the named hyperparameter profiles every entry must provide
+PROFILES = ("paper", "bench", "smoke")
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered generator: factory plus named parameter profiles."""
+
+    name: str                       #: canonical lowercase id ("fairgen-r")
+    display_name: str               #: benchmark-table name ("FairGen-R")
+    factory: Callable[..., GraphGenerativeModel]
+    profiles: Mapping[str, Mapping[str, object]]
+    #: True when ``fit`` consumes :class:`~repro.experiments.Supervision`
+    #: (labels / protected mask); unsupervised baselines ignore it.
+    needs_supervision: bool = False
+    #: included in the paper's nine-method benchmark scoreboard
+    benchmarked: bool = True
+    aliases: tuple[str, ...] = field(default=())
+
+    def params(self, profile: str = "paper",
+               overrides: Mapping[str, object] | None = None) -> dict:
+        """Resolved constructor parameters for ``profile`` + overrides."""
+        if profile not in self.profiles:
+            raise KeyError(f"model {self.name!r} has no profile "
+                           f"{profile!r}; available: "
+                           f"{sorted(self.profiles)}")
+        params = dict(self.profiles[profile])
+        params.update(overrides or {})
+        return params
+
+    def build(self, profile: str = "paper",
+              overrides: Mapping[str, object] | None = None
+              ) -> GraphGenerativeModel:
+        """Construct a fresh model under the named profile."""
+        return self.factory(**self.params(profile, overrides))
+
+
+_REGISTRY: dict[str, ModelEntry] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_model(name: str, *, display_name: str | None = None,
+                   profiles: Mapping[str, Mapping[str, object]] | None = None,
+                   aliases: tuple[str, ...] = (),
+                   needs_supervision: bool = False,
+                   benchmarked: bool = True):
+    """Decorator registering a model factory under ``name``.
+
+    The decorated callable receives the resolved profile parameters as
+    keyword arguments and returns a fresh
+    :class:`~repro.models.GraphGenerativeModel`.
+    """
+    def decorator(factory):
+        entry = ModelEntry(
+            name=name,
+            display_name=display_name or name,
+            factory=factory,
+            profiles=dict(profiles or {p: {} for p in PROFILES}),
+            needs_supervision=needs_supervision,
+            benchmarked=benchmarked,
+            aliases=tuple(aliases))
+        if name in _REGISTRY:
+            raise ValueError(f"model {name!r} already registered")
+        missing = [p for p in PROFILES if p not in entry.profiles]
+        if missing:
+            raise ValueError(f"model {name!r} is missing profiles {missing}")
+        # Validate every alias before committing anything, so a
+        # collision cannot shadow an existing model or leave a
+        # half-registered entry behind.
+        alias_keys = []
+        for alias in (entry.display_name, *entry.aliases):
+            key = alias.lower()
+            if key == name:
+                continue
+            if key in _REGISTRY or _ALIASES.get(key, name) != name:
+                raise ValueError(f"alias {alias!r} of model {name!r} "
+                                 "collides with an existing registration")
+            alias_keys.append(key)
+        _REGISTRY[name] = entry
+        for key in alias_keys:
+            _ALIASES[key] = name
+        return factory
+    return decorator
+
+
+def get_entry(name: str) -> ModelEntry:
+    """Resolve a canonical name, display name or alias to its entry.
+
+    Canonical names win over aliases, so no registration can reroute an
+    existing model id.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; registered: "
+                       f"{model_names()}")
+    return _REGISTRY[key]
+
+
+def create_model(name: str, profile: str = "paper",
+                 overrides: Mapping[str, object] | None = None
+                 ) -> GraphGenerativeModel:
+    """Build a fresh model by registry name under a profile."""
+    return get_entry(name).build(profile, overrides)
+
+
+def model_names() -> list[str]:
+    """All canonical model names, in registration order."""
+    return list(_REGISTRY)
+
+
+def benchmark_model_names() -> list[str]:
+    """Display names of the paper's benchmark scoreboard methods."""
+    return [e.display_name for e in _REGISTRY.values() if e.benchmarked]
+
+
+def display_name(name: str) -> str:
+    """Benchmark-table display name for any resolvable model name."""
+    return get_entry(name).display_name
+
+
+def profile_names() -> tuple[str, ...]:
+    return PROFILES
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+
+#: CPU-scale FairGen budget shared by all benchmarks (formerly
+#: ``benchmarks.common.bench_fairgen_config``).
+_FAIRGEN_BENCH = dict(
+    walk_length=10, walks_per_cycle=96, self_paced_cycles=4,
+    generator_steps_per_cycle=80, generator_batch=32, model_dim=32,
+    num_layers=1, feature_dim=32, batch_iterations=4, batch_size=128,
+    discriminator_lr=0.05, generation_walk_factor=12)
+
+#: seconds-scale FairGen budget for smoke tests and CLI quick runs
+_FAIRGEN_SMOKE = dict(
+    walk_length=8, walks_per_cycle=32, self_paced_cycles=2,
+    generator_steps_per_cycle=2, generator_batch=16, model_dim=16,
+    num_layers=1, feature_dim=16, batch_iterations=2, batch_size=64,
+    discriminator_lr=0.05, generation_walk_factor=6)
+
+_FAIRGEN_PROFILES = {"paper": {}, "bench": _FAIRGEN_BENCH,
+                     "smoke": _FAIRGEN_SMOKE}
+
+
+def _register_fairgen_variants() -> None:
+    variants = (
+        ("fairgen", "full", "FairGen", ()),
+        ("fairgen-r", "no-sampling", "FairGen-R", ("fairgen-no-sampling",)),
+        ("fairgen-no-spl", "no-spl", "FairGen-w/o-SPL", ()),
+        ("fairgen-no-parity", "no-parity", "FairGen-w/o-Parity", ()),
+    )
+    for name, variant, display, aliases in variants:
+        def factory(_variant=variant, **params):
+            return make_fairgen_variant(_variant, FairGenConfig(**params))
+        register_model(name, display_name=display, aliases=aliases,
+                       profiles=_FAIRGEN_PROFILES,
+                       needs_supervision=True)(factory)
+
+
+_register_fairgen_variants()
+
+
+@register_model("er", display_name="ER",
+                profiles={"paper": {}, "bench": {}, "smoke": {}})
+def _build_er(**params):
+    return ERModel(**params)
+
+
+@register_model("ba", display_name="BA",
+                profiles={"paper": {}, "bench": {}, "smoke": {}})
+def _build_ba(**params):
+    return BAModel(**params)
+
+
+@register_model("gae", display_name="GAE", profiles={
+    "paper": {},
+    "bench": dict(epochs=40, hidden=32, latent=16),
+    "smoke": dict(epochs=8, hidden=16, latent=8)})
+def _build_gae(**params):
+    return GAEModel(**params)
+
+
+@register_model("netgan", display_name="NetGAN", profiles={
+    "paper": {},
+    "bench": dict(iterations=20, batch_size=24, walk_length=10,
+                  hidden_dim=32, generation_walk_factor=12),
+    "smoke": dict(iterations=4, batch_size=12, walk_length=8,
+                  generation_walk_factor=8)})
+def _build_netgan(**params):
+    return NetGAN(**params)
+
+
+@register_model("taggen", display_name="TagGen", profiles={
+    "paper": {},
+    "bench": dict(epochs=10, walks_per_epoch=128, dim=32, num_layers=1,
+                  walk_length=10, generation_walk_factor=12),
+    "smoke": dict(epochs=2, walks_per_epoch=48, dim=16, num_layers=1,
+                  walk_length=8, generation_walk_factor=6)})
+def _build_taggen(**params):
+    return TagGen(**params)
+
+
+@register_model("graphrnn", display_name="GraphRNN", benchmarked=False,
+                profiles={
+    "paper": {},
+    "bench": dict(epochs=30),
+    "smoke": dict(epochs=4, hidden_dim=16)})
+def _build_graphrnn(**params):
+    return GraphRNN(**params)

@@ -1,5 +1,7 @@
 """Small shared utilities: seeding, timing, text tables."""
 
-from .helpers import Timer, format_table, seeded_rng, spawn_rngs
+from .helpers import (Timer, few_shot_labels, format_table, seeded_rng,
+                      spawn_rngs)
 
-__all__ = ["seeded_rng", "spawn_rngs", "Timer", "format_table"]
+__all__ = ["seeded_rng", "spawn_rngs", "Timer", "format_table",
+           "few_shot_labels"]

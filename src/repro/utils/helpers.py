@@ -1,4 +1,4 @@
-"""Seeding, timing and plain-text table helpers."""
+"""Seeding, timing, few-shot sampling and plain-text table helpers."""
 
 from __future__ import annotations
 
@@ -6,7 +6,31 @@ import time
 
 import numpy as np
 
-__all__ = ["seeded_rng", "spawn_rngs", "Timer", "format_table"]
+__all__ = ["seeded_rng", "spawn_rngs", "Timer", "format_table",
+           "few_shot_labels"]
+
+
+def few_shot_labels(labels: np.ndarray, num_classes: int,
+                    rng: np.random.Generator,
+                    per_class: int = 3) -> tuple[np.ndarray, np.ndarray]:
+    """Sample a few-shot labeled set: ``per_class`` nodes per class.
+
+    Guarantees at least one example per non-empty class (Section II-A
+    requires "at least one from each class").  The single shared
+    implementation behind ``Dataset.labeled_few_shot`` and
+    ``repro.experiments.Supervision``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    nodes, classes = [], []
+    for cls in range(num_classes):
+        members = np.flatnonzero(labels == cls)
+        if members.size == 0:
+            raise ValueError(f"class {cls} has no members")
+        take = min(per_class, members.size)
+        chosen = rng.choice(members, size=take, replace=False)
+        nodes.append(chosen)
+        classes.append(np.full(take, cls, dtype=np.int64))
+    return np.concatenate(nodes), np.concatenate(classes)
 
 
 def seeded_rng(seed: int) -> np.random.Generator:

@@ -54,7 +54,9 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mean R+" in out
 
-    def test_fairgen_on_unlabeled_fails_cleanly(self):
+    def test_fairgen_on_unlabeled_without_surrogate_fails_cleanly(self):
+        # Surrogate supervision is on by default; opting out restores the
+        # old refusal for unlabeled datasets.
         with pytest.raises(SystemExit):
             main(["generate", "--dataset", "EMAIL", "--model", "fairgen",
-                  "--cycles", "2", "--generator-steps", "2"])
+                  "--no-surrogate-labels", "--profile", "smoke"])
