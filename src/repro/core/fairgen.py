@@ -22,11 +22,14 @@ volume preservation and min-degree 1).
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..embedding import Node2VecConfig, node2vec_embedding
 from ..graph import Graph, sample_walks, walks_to_edge_counts
-from ..models.base import GraphGenerativeModel, assemble_from_scores
+from ..models.base import (GraphGenerativeModel, assemble_from_scores,
+                           extract_state, prefix_state)
 from ..models.walk_lm import TransformerWalkModel
 from ..nn import Adam, Tensor, clip_grad_norm
 from .config import FairGenConfig
@@ -291,16 +294,9 @@ class FairGen(GraphGenerativeModel):
                        rng: np.random.Generator) -> np.ndarray:
         if self.generator is None:
             raise RuntimeError("FairGen must be fitted before generating")
-        cfg = self.config
-        chunks = []
-        remaining = num_walks
-        while remaining > 0:
-            take = min(remaining, 256)
-            starts = self._generation_starts(take, rng)
-            chunks.append(self.generator.sample(take, cfg.walk_length, rng,
-                                                starts=starts))
-            remaining -= take
-        return np.concatenate(chunks, axis=0)
+        return self.generator.sample_chunked(
+            num_walks, self.config.walk_length, rng,
+            starts_fn=self._generation_starts)
 
     def generate(self, rng: np.random.Generator) -> Graph:
         fitted = self._require_fitted()
@@ -339,6 +335,56 @@ class FairGen(GraphGenerativeModel):
 
         return propose_edges_from_walk_counts(
             fitted, counts, num_edges, weight_fn=same_class_probability)
+
+    # -- persistence ----------------------------------------------------
+    def config_dict(self) -> dict:
+        return dataclasses.asdict(self.config)
+
+    @classmethod
+    def from_config_dict(cls, params: dict) -> "FairGen":
+        return cls(FairGenConfig(**params))
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Generator + discriminator parameters plus the fitted arrays.
+
+        The self-paced training state is not captured — restoring is for
+        inference (``generate`` / ``propose_edges``), not for resuming
+        Algorithm 1.
+        """
+        return {
+            "protected_mask": self._protected_mask.astype(np.int8),
+            "features": self.features,
+            "num_classes": np.array([self.discriminator.num_classes],
+                                    dtype=np.int64),
+            **prefix_state("generator", self.generator.state_dict()),
+            **prefix_state("discriminator",
+                           self.discriminator.mlp.state_dict()),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        graph = self._require_fitted()
+        cfg = self.config
+        protected = np.asarray(state["protected_mask"], dtype=bool)
+        if protected.shape != (graph.num_nodes,):
+            raise ValueError("graph does not match the saved model "
+                             f"({protected.size} vs {graph.num_nodes} "
+                             "nodes)")
+        self.protected_mask = protected
+        self.features = np.asarray(state["features"], dtype=np.float64)
+
+        init_rng = np.random.default_rng(0)
+        self.generator = TransformerWalkModel(
+            graph.num_nodes, cfg.model_dim, cfg.num_heads, cfg.num_layers,
+            cfg.walk_length, init_rng)
+        self.generator.load_state_dict(extract_state(state, "generator"))
+
+        self.discriminator = FairDiscriminator(
+            self.features, int(state["num_classes"][0]), protected,
+            init_rng, hidden_dim=cfg.hidden_dim, lr=cfg.discriminator_lr,
+            alpha=cfg.alpha, beta=cfg.beta,
+            gamma=cfg.gamma if cfg.use_parity else 0.0)
+        self.discriminator.mlp.load_state_dict(
+            extract_state(state, "discriminator"))
 
     # ------------------------------------------------------------------
     def reconstruction_loss(self, walks: np.ndarray) -> float:

@@ -1,4 +1,4 @@
-"""Persistence for graphs and trained FairGen models.
+"""Persistence for graphs and fitted generative models.
 
 Two artifact families live here:
 
@@ -6,30 +6,34 @@ Two artifact families live here:
   as a compressed ``.npz`` (CSR structure only; edge weights are binary).
   This is the storage format of the experiment Runner's disk cache
   (:mod:`repro.experiments`).
-* :func:`save_fairgen` / :func:`load_fairgen` — a fitted FairGen without
-  the training pipeline: the archive stores the configuration, the
-  generator and discriminator parameters, the node features and the
-  protected mask.  Loading against the original graph restores a model
-  that can ``generate`` and ``propose_edges`` (the self-paced training
-  state is not preserved — reloading is for inference, not for resuming
-  Algorithm 1).
+* :func:`save_model` / :func:`load_model` — any fitted registry model
+  (FairGen and its ablations, ER, BA, GAE, NetGAN, TagGen, GraphRNN)
+  without the training pipeline: the archive stores the model class, its
+  constructor configuration and its flat ``state_dict`` arrays.  Loading
+  against the original graph restores a model that can ``generate`` and
+  ``propose_edges`` (optimizer and curriculum state are not preserved —
+  reloading is for inference, not for resuming training).  This is how
+  the Runner's artifact cache satisfies ``need_model=True`` with zero
+  refits and ships fitted models across worker processes.
+
+:func:`save_fairgen` / :func:`load_fairgen` survive as FairGen-typed
+wrappers over the generic pair.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 
 import numpy as np
 
 from ..graph import Graph
-from .config import FairGenConfig
-from .discriminator import FairDiscriminator
+from ..models import (BAModel, ERModel, GAEModel,
+                      GraphGenerativeModel, GraphRNN, NetGAN, TagGen)
 from .fairgen import FairGen
-from ..models.walk_lm import TransformerWalkModel
 
-__all__ = ["save_graph", "load_graph", "save_fairgen", "load_fairgen"]
+__all__ = ["save_graph", "load_graph", "save_model", "load_model",
+           "can_serialize", "save_fairgen", "load_fairgen"]
 
 
 def save_graph(graph: Graph, path: str | os.PathLike) -> None:
@@ -66,63 +70,96 @@ def load_graph(path: str | os.PathLike) -> Graph:
     return Graph(sp.csr_matrix((data, indices, indptr), shape=(n, n)))
 
 
-def save_fairgen(model: FairGen, path: str | os.PathLike) -> None:
-    """Serialise a fitted FairGen to a compressed ``.npz`` archive."""
-    if model.generator is None or model.discriminator is None:
+#: bump when the model archive layout changes incompatibly
+MODEL_FORMAT = "model-npz-v1"
+
+#: every serialisable model class, keyed by ``type(model).__name__``
+_MODEL_CLASSES: dict[str, type[GraphGenerativeModel]] = {
+    cls.__name__: cls
+    for cls in (FairGen, ERModel, BAModel, GAEModel, NetGAN, TagGen,
+                GraphRNN)}
+
+
+def can_serialize(model: GraphGenerativeModel) -> bool:
+    """Whether :func:`save_model` / :func:`load_model` cover ``model``.
+
+    The loader has to rebuild the exact class from the archive, so only
+    the known model classes round-trip; subclasses and third-party
+    registry models don't (the Runner degrades them to graph-only
+    caching instead of failing the run).
+    """
+    return _MODEL_CLASSES.get(type(model).__name__) is type(model)
+
+
+def save_model(model: GraphGenerativeModel, path: str | os.PathLike) -> None:
+    """Serialise any fitted registry model to a compressed ``.npz``.
+
+    The archive records the model class, its display ``name`` (FairGen
+    ablation variants share one class), the ``config_dict`` constructor
+    parameters and the flat ``state_dict`` arrays.
+    """
+    if not model.is_fitted:
         raise ValueError("only fitted models can be saved")
+    if not can_serialize(model):
+        raise ValueError(f"{type(model).__name__} is not a registered "
+                         "serialisable model class")
+    header = {"class": type(model).__name__, "name": model.name,
+              "num_nodes": model._fitted_graph.num_nodes,
+              "config": model.config_dict()}
     payload: dict[str, np.ndarray] = {
-        "config_json": np.frombuffer(
-            json.dumps(dataclasses.asdict(model.config)).encode(),
-            dtype=np.uint8),
-        "protected_mask": model.protected_mask.astype(np.int8),
-        "features": model.features,
-        "num_classes": np.array([model.discriminator.num_classes]),
+        "format": np.frombuffer(MODEL_FORMAT.encode(), dtype=np.uint8),
+        "header_json": np.frombuffer(json.dumps(header).encode(),
+                                     dtype=np.uint8),
     }
-    for name, value in model.generator.state_dict().items():
-        payload[f"generator/{name}"] = value
-    for name, value in model.discriminator.mlp.state_dict().items():
-        payload[f"discriminator/{name}"] = value
+    for name, value in model.state_dict().items():
+        payload[f"state/{name}"] = np.asarray(value)
     np.savez_compressed(path, **payload)
 
 
-def load_fairgen(path: str | os.PathLike, graph: Graph) -> FairGen:
-    """Restore a FairGen saved by :func:`save_fairgen` for inference.
+def load_model(path: str | os.PathLike,
+               graph: Graph) -> GraphGenerativeModel:
+    """Restore a model saved by :func:`save_model` for inference.
 
-    ``graph`` must be the graph the model was fitted on (generation needs
-    its size, edge count and protected volume).
+    ``graph`` must be the graph the model was fitted on (generation
+    needs its size, edge count and — for FairGen — protected volume).
     """
     with np.load(path) as archive:
-        config = FairGenConfig(**json.loads(
-            archive["config_json"].tobytes().decode()))
-        protected = archive["protected_mask"].astype(bool)
-        features = archive["features"]
-        num_classes = int(archive["num_classes"][0])
-        generator_state = {
-            name.removeprefix("generator/"): archive[name]
-            for name in archive.files if name.startswith("generator/")}
-        discriminator_state = {
-            name.removeprefix("discriminator/"): archive[name]
-            for name in archive.files if name.startswith("discriminator/")}
+        if "format" not in archive or "header_json" not in archive:
+            raise ValueError(f"{path} is not a model archive")
+        fmt = archive["format"].tobytes().decode()
+        if fmt != MODEL_FORMAT:
+            raise ValueError(f"{path}: unsupported model archive "
+                             f"format {fmt!r}")
+        header = json.loads(archive["header_json"].tobytes().decode())
+        state = {name.removeprefix("state/"): archive[name]
+                 for name in archive.files if name.startswith("state/")}
 
-    if protected.shape != (graph.num_nodes,):
+    cls = _MODEL_CLASSES.get(header["class"])
+    if cls is None:
+        raise ValueError(f"{path}: unknown model class "
+                         f"{header['class']!r}")
+    if header["num_nodes"] != graph.num_nodes:
         raise ValueError("graph does not match the saved model "
-                         f"({protected.size} vs {graph.num_nodes} nodes)")
-
-    model = FairGen(config)
+                         f"({header['num_nodes']} vs {graph.num_nodes} "
+                         "nodes)")
+    model = cls.from_config_dict(header["config"])
+    model.name = header["name"]
     model._fitted_graph = graph
-    model.protected_mask = protected
-    model.features = features
+    model.load_state_dict(state)
+    return model
 
-    init_rng = np.random.default_rng(0)
-    model.generator = TransformerWalkModel(
-        graph.num_nodes, config.model_dim, config.num_heads,
-        config.num_layers, config.walk_length, init_rng)
-    model.generator.load_state_dict(generator_state)
 
-    model.discriminator = FairDiscriminator(
-        features, num_classes, protected, init_rng,
-        hidden_dim=config.hidden_dim, lr=config.discriminator_lr,
-        alpha=config.alpha, beta=config.beta,
-        gamma=config.gamma if config.use_parity else 0.0)
-    model.discriminator.mlp.load_state_dict(discriminator_state)
+def save_fairgen(model: FairGen, path: str | os.PathLike) -> None:
+    """Serialise a fitted FairGen (wrapper over :func:`save_model`)."""
+    if model.generator is None or model.discriminator is None:
+        raise ValueError("only fitted models can be saved")
+    save_model(model, path)
+
+
+def load_fairgen(path: str | os.PathLike, graph: Graph) -> FairGen:
+    """Restore a FairGen saved by :func:`save_fairgen` for inference."""
+    model = load_model(path, graph)
+    if not isinstance(model, FairGen):
+        raise ValueError(f"{path} holds a {type(model).__name__}, "
+                         "not a FairGen")
     return model

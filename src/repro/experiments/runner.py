@@ -22,10 +22,13 @@ Two layers:
   reuses the models fitted for Figure 4 within one pytest session;
 * an optional disk cache under ``cache_dir``: per spec a compressed
   ``<key>.npz`` adjacency (written by
-  :func:`repro.core.serialization.save_graph`) plus a ``<key>.json``
-  metadata sidecar (spec echo, timings, metrics, format version).  A
-  warm disk cache survives across processes and makes a second
-  ``run`` of the same spec perform **zero model fitting**.
+  :func:`repro.core.serialization.save_graph`), a ``<key>.json``
+  metadata sidecar (spec echo, timings, metrics, format version), and a
+  ``<key>.model.npz`` fitted-model archive (written by
+  :func:`repro.core.serialization.save_model`).  A warm disk cache
+  survives across processes and makes a second ``run`` of the same spec
+  perform **zero model fitting** — including ``need_model=True`` runs,
+  which replay the fitted model from the archive instead of refitting.
 """
 
 from __future__ import annotations
@@ -41,7 +44,8 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from ..core.serialization import load_graph, save_graph
+from ..core.serialization import (can_serialize, load_graph, load_model,
+                                  save_graph, save_model)
 from ..data import load_dataset
 from ..eval import (mean_discrepancy, overall_discrepancy,
                     protected_discrepancy)
@@ -53,7 +57,10 @@ from .supervision import FEW_SHOT_PER_CLASS, Supervision
 __all__ = ["ExperimentSpec", "RunResult", "Runner"]
 
 #: bump when the cache layout or run semantics change incompatibly
-CACHE_FORMAT = "run-cache-v1"
+#: (v2: the walk engine's exact-fallback RNG consumption changed with
+#: the batched inverse-CDF draw, so v1 seeded artifacts are no longer
+#: reproducible by a cold run of the same spec)
+CACHE_FORMAT = "run-cache-v2"
 
 #: sampling budget for the average-shortest-path metric in run metrics
 _ASPL_SAMPLE = 120
@@ -218,7 +225,8 @@ class Runner:
         """Execute (or replay) one spec.
 
         ``need_model`` guarantees ``result.model`` is a fitted model —
-        forcing a fit if only the generated artifact is cached.
+        restored from the cache's ``.model.npz`` archive when present,
+        refit only when the cache has no (valid) model artifact.
         ``with_metrics`` attaches the discrepancy scoreboard
         (overall, and protected when the dataset has — possibly
         surrogate — supervision).
@@ -230,11 +238,11 @@ class Runner:
                 self._ensure_metrics(spec, cached)
             return cached
 
-        if not need_model:
-            disk = self._load_from_disk(spec, with_metrics)
-            if disk is not None:
-                self._memory[spec] = disk
-                return disk
+        disk = self._load_from_disk(spec, with_metrics,
+                                    need_model=need_model)
+        if disk is not None:
+            self._memory[spec] = disk
+            return disk
 
         result = self._execute(spec)
         # Carry metrics already computed for this artifact (in memory or
@@ -253,15 +261,21 @@ class Runner:
         """Execute a batch of specs, optionally across processes.
 
         With ``processes > 1`` the independent specs are distributed over
-        a process pool; fitted models stay in the worker processes (the
-        returned results have ``model=None``), and a shared ``cache_dir``
-        lets the parent — and any later process — replay the artifacts.
-        ``need_model=True`` is incompatible with worker processes
-        (trained models don't cross process boundaries), so that
+        a process pool and a shared ``cache_dir`` lets the parent — and
+        any later process — replay the artifacts.  Fitted models do not
+        cross process boundaries as live objects, but they do cross as
+        cache artifacts: with ``need_model=True`` each worker persists
+        its fitted model via :func:`repro.core.serialization.save_model`
+        and the parent restores it from the cache, so the returned
+        results still carry fitted models with zero fits in the parent.
+        The one remaining restriction: ``need_model=True`` without a
+        ``cache_dir`` has no channel to ship models home, so that
         combination runs sequentially in the parent.
         """
         specs = list(specs)
-        if processes is not None and processes > 1 and not need_model:
+        parallel_ok = (processes is not None and processes > 1
+                       and (not need_model or self.cache_dir is not None))
+        if parallel_ok:
             from concurrent.futures import ProcessPoolExecutor
 
             # Serve memory hits directly — including metrics-only gaps,
@@ -270,10 +284,21 @@ class Runner:
             pending = []
             for spec in specs:
                 existing = self._memory.get(spec)
+                if existing is not None and need_model \
+                        and existing.model is None:
+                    existing = None  # must come from disk or a worker
                 if existing is None:  # disk-warm entries replay locally
-                    existing = self._load_from_disk(spec, with_metrics)
+                    existing = self._load_from_disk(
+                        spec, with_metrics, need_model=need_model)
                     if existing is not None:
                         self._memory[spec] = existing
+                if existing is None and need_model \
+                        and not self._model_round_trips(spec):
+                    # A worker's fitted model could not come home through
+                    # the cache, so a pool fit would be thrown away and
+                    # refit here anyway; fit once in the parent instead.
+                    existing = self.run(spec, need_model=True,
+                                        with_metrics=with_metrics)
                 if existing is None:
                     pending.append(spec)
                 elif with_metrics:
@@ -285,15 +310,32 @@ class Runner:
                     fresh = list(pool.map(
                         _run_in_worker,
                         [(cache, self.allow_surrogate,
-                          self.few_shot_per_class, spec, with_metrics)
+                          self.few_shot_per_class, spec, with_metrics,
+                          need_model)
                          for spec in pending]))
                 for spec, result in zip(pending, fresh):
+                    if need_model:
+                        # The worker persisted its fitted model in the
+                        # shared cache; restore it without refitting.
+                        result = (self._load_from_disk(
+                                      spec, with_metrics, need_model=True)
+                                  or self.run(spec, need_model=True,
+                                              with_metrics=with_metrics))
                     self._memory[spec] = result
             return [self._memory[spec] for spec in specs]
         return [self.run(spec, need_model=need_model,
                          with_metrics=with_metrics) for spec in specs]
 
     # ------------------------------------------------------------------
+    def _model_round_trips(self, spec: ExperimentSpec) -> bool:
+        """Whether the spec's fitted model survives the cache round trip.
+
+        Building an unfitted instance is cheap — constructors only
+        record hyperparameters — and its class decides serializability.
+        """
+        entry = get_entry(spec.model)
+        return can_serialize(entry.build(spec.profile, spec.override_dict))
+
     def _execute(self, spec: ExperimentSpec) -> RunResult:
         entry = get_entry(spec.model)
         data = self.dataset(spec.dataset)
@@ -362,10 +404,11 @@ class Runner:
             stamp["few_shot_per_class"] = self.few_shot_per_class
         return json.dumps(stamp, sort_keys=True, default=str)
 
-    def _paths(self, spec: ExperimentSpec) -> tuple[Path, Path]:
+    def _paths(self, spec: ExperimentSpec) -> tuple[Path, Path, Path]:
         key = spec.cache_key()
         return (self.cache_dir / f"{key}.npz",
-                self.cache_dir / f"{key}.json")
+                self.cache_dir / f"{key}.json",
+                self.cache_dir / f"{key}.model.npz")
 
     def _ensure_metrics(self, spec: ExperimentSpec,
                         result: RunResult) -> None:
@@ -379,7 +422,7 @@ class Runner:
         """Metrics recorded in the cache sidecar, if still valid."""
         if self.cache_dir is None:
             return None
-        _, meta_path = self._paths(spec)
+        _, meta_path, _ = self._paths(spec)
         if not meta_path.exists():
             return None
         try:
@@ -391,13 +434,15 @@ class Runner:
             return prior.get("metrics")
         return None
 
-    def _load_from_disk(self, spec: ExperimentSpec,
-                        with_metrics: bool) -> RunResult | None:
+    def _load_from_disk(self, spec: ExperimentSpec, with_metrics: bool,
+                        need_model: bool = False) -> RunResult | None:
         if self.cache_dir is None:
             return None
-        graph_path, meta_path = self._paths(spec)
+        graph_path, meta_path, model_path = self._paths(spec)
         if not graph_path.exists() or not meta_path.exists():
             return None
+        if need_model and not model_path.exists():
+            return None  # artifact-only entry can't satisfy need_model
         import zipfile
 
         try:
@@ -406,6 +451,8 @@ class Runner:
                     or metadata.get("stamp") != self._stamp(spec)):
                 return None
             generated = load_graph(graph_path)
+            model = (load_model(model_path, self.dataset(spec.dataset).graph)
+                     if need_model else None)
         except (ValueError, KeyError, OSError, json.JSONDecodeError,
                 zipfile.BadZipFile):
             return None  # corrupt entry: treat as a miss and recompute
@@ -413,7 +460,7 @@ class Runner:
                            fit_seconds=float(metadata["fit_seconds"]),
                            generate_seconds=float(
                                metadata["generate_seconds"]),
-                           from_cache=True, model=None,
+                           from_cache=True, model=model,
                            metrics=metadata.get("metrics"))
         if with_metrics:
             self._ensure_metrics(spec, result)
@@ -424,15 +471,21 @@ class Runner:
         if self.cache_dir is None:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        graph_path, _ = self._paths(spec)
+        graph_path, _, model_path = self._paths(spec)
         save_graph(result.generated, graph_path)
+        if result.model is not None and can_serialize(result.model):
+            # Persisting the fitted model makes the warm cache able to
+            # satisfy need_model=True runs with zero refits.  Custom
+            # registry models outside the serialisable set degrade to
+            # graph-only caching (need_model then refits as before).
+            save_model(result.model, model_path)
         self._write_metadata(spec, result)
 
     def _write_metadata(self, spec: ExperimentSpec,
                         result: RunResult) -> None:
         if self.cache_dir is None:
             return
-        _, meta_path = self._paths(spec)
+        _, meta_path, _ = self._paths(spec)
         metadata = {
             "format": CACHE_FORMAT,
             "stamp": self._stamp(spec),
@@ -452,11 +505,15 @@ class Runner:
 
 def _run_in_worker(payload) -> RunResult:
     """Top-level ``run_many`` worker (must be picklable)."""
-    cache_dir, allow_surrogate, few_shot, spec, with_metrics = payload
+    (cache_dir, allow_surrogate, few_shot, spec, with_metrics,
+     need_model) = payload
     runner = Runner(cache_dir=cache_dir, allow_surrogate=allow_surrogate,
                     few_shot_per_class=few_shot)
-    result = runner.run(spec, with_metrics=with_metrics)
+    result = runner.run(spec, with_metrics=with_metrics,
+                        need_model=need_model)
     # Fitted models hold autograd state; keep the payload lean and
-    # picklable by shipping only the artifacts.
+    # picklable by shipping only the artifacts — with need_model the
+    # model travels through the shared cache as a save_model archive,
+    # from which the parent restores it.
     result.model = None
     return result

@@ -11,8 +11,9 @@ vectorized NumPy primitives on the CSR arrays:
   ``rng.integers`` call over the per-walk degrees;
 - the node2vec ``p``/``q`` second-order bias is applied by vectorized
   rejection sampling (propose a uniform neighbor, accept with probability
-  ``w / w_max``), with an exact per-walk fallback for walks that exhaust
-  the rejection budget, so no ``np.isin`` neighborhood scans are needed;
+  ``w / w_max``), with a batched exact inverse-CDF fallback advancing all
+  walks that exhaust the rejection budget in one pass, so no ``np.isin``
+  neighborhood scans are needed;
 - adjacency membership for the bias weights uses a binary search over
   globally sorted ``row * n + col`` edge keys (CSR rows are sorted, so the
   flattened key array is too);
@@ -204,14 +205,85 @@ class WalkEngine:
             walks[:, t] = cur
         return walks
 
+    #: peak cells (walks x padded degree) per straggler batch; bounds the
+    #: fallback's temporaries at ~8 MB of float64 even near large hubs
+    _EXACT_CELL_BUDGET = 1 << 20
+
     def _exact_biased_steps(self, cur: np.ndarray, prev: np.ndarray,
                             pending: np.ndarray, out: np.ndarray,
                             rng: np.random.Generator,
                             inv_p: float, inv_q: float) -> None:
-        """Exact weighted draw for walks that exhausted rejection rounds.
+        """Batched exact weighted draw for rejection-round stragglers.
 
-        Only the (rare) stragglers with extreme ``p``/``q`` land here, so
-        the per-walk loop is off the hot path by construction.
+        Pending walks advance in vectorized batches: the variable-length
+        neighborhoods are padded into a ``(P, max_deg)`` rectangle (zero
+        weight past each row's degree, so the row-wise ``cumsum`` partial
+        sums are bit-identical to the per-walk ones), each row's CDF is
+        normalised, and one uniform per walk selects the neighbor by
+        inverse-CDF — the same draw, in the same RNG order, as the
+        per-walk :meth:`_exact_biased_steps_scalar` reference, so both
+        paths produce identical steps from identical generator state.
+
+        Batches are cut so the rectangle never exceeds
+        ``_EXACT_CELL_BUDGET`` cells: a run of hub-adjacent walks cannot
+        blow the padded temporaries up to O(P * max_deg) gigabytes the
+        way a single all-pending rectangle could.  Walks are consumed in
+        ``pending`` order, one uniform each, so the chunking is invisible
+        to the RNG stream.
+        """
+        deg_all = self.degrees[cur[pending]]
+        start = 0
+        while start < pending.size:
+            stop = start + 1
+            width = int(deg_all[start])
+            while stop < pending.size:
+                next_width = max(width, int(deg_all[stop]))
+                if (stop - start + 1) * next_width > self._EXACT_CELL_BUDGET:
+                    break
+                width = next_width
+                stop += 1
+            self._exact_biased_batch(cur, prev, pending[start:stop], out,
+                                     rng, inv_p, inv_q)
+            start = stop
+
+    def _exact_biased_batch(self, cur: np.ndarray, prev: np.ndarray,
+                            pending: np.ndarray, out: np.ndarray,
+                            rng: np.random.Generator,
+                            inv_p: float, inv_q: float) -> None:
+        """One padded-rectangle inverse-CDF draw over ``pending`` walks."""
+        src = cur[pending]
+        lo = self.indptr[src]
+        deg = self.degrees[src]  # > 0: pending excludes isolated nodes
+        cols = np.arange(int(deg.max()))
+        valid = cols[None, :] < deg[:, None]
+        # Clamp padded slots to each row's first neighbor; their weight
+        # is zeroed below so the value never matters.
+        nbrs = self.indices[np.where(valid, lo[:, None] + cols[None, :],
+                                     lo[:, None])]
+        prev_col = np.broadcast_to(prev[pending][:, None], nbrs.shape)
+        weights = np.where(
+            nbrs == prev_col, inv_p,
+            np.where(self.has_edges(nbrs.ravel(),
+                                    prev_col.ravel()).reshape(nbrs.shape),
+                     1.0, inv_q))
+        weights[~valid] = 0.0
+        cdf = np.cumsum(weights, axis=1)
+        cdf /= cdf[np.arange(pending.size), deg - 1][:, None]
+        cdf[~valid] = np.inf  # padded slots must never be selected
+        u = rng.random(pending.size)
+        choice = (cdf <= u[:, None]).sum(axis=1)  # searchsorted 'right'
+        out[pending] = nbrs[np.arange(pending.size), choice]
+
+    def _exact_biased_steps_scalar(self, cur: np.ndarray, prev: np.ndarray,
+                                   pending: np.ndarray, out: np.ndarray,
+                                   rng: np.random.Generator,
+                                   inv_p: float, inv_q: float) -> None:
+        """Per-walk reference for :meth:`_exact_biased_steps`.
+
+        Kept for the equivalence regression test: it consumes one
+        uniform per pending walk in the same order as the batched path
+        (``n`` scalar ``rng.random()`` calls draw the same doubles as
+        one ``rng.random(n)``), so seeded outputs must match exactly.
         """
         for i in pending:
             lo, hi = self.indptr[cur[i]], self.indptr[cur[i] + 1]
@@ -221,8 +293,10 @@ class WalkEngine:
                 np.where(self.has_edges(nbrs,
                                         np.full(nbrs.size, prev[i])),
                          1.0, inv_q))
-            weights = weights / weights.sum()
-            out[i] = nbrs[rng.choice(nbrs.size, p=weights)]
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            out[i] = nbrs[int(np.searchsorted(cdf, rng.random(),
+                                              side="right"))]
 
     # ------------------------------------------------------------------
     def walks(self, num_walks: int, length: int, rng: np.random.Generator,

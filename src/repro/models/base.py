@@ -24,6 +24,20 @@ __all__ = ["GraphGenerativeModel", "assemble_from_scores",
            "propose_edges_from_walk_counts"]
 
 
+def prefix_state(prefix: str,
+                 state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Namespace a sub-module's ``state_dict`` under ``prefix/``."""
+    return {f"{prefix}/{name}": value for name, value in state.items()}
+
+
+def extract_state(state: dict[str, np.ndarray],
+                  prefix: str) -> dict[str, np.ndarray]:
+    """Inverse of :func:`prefix_state`: the entries under ``prefix/``."""
+    lead = f"{prefix}/"
+    return {name[len(lead):]: value
+            for name, value in state.items() if name.startswith(lead)}
+
+
 def propose_edges_from_walk_counts(fitted: Graph, counts: sp.spmatrix,
                                    num_edges: int,
                                    weight_fn=None) -> np.ndarray:
@@ -86,6 +100,42 @@ class GraphGenerativeModel(abc.ABC):
     @abc.abstractmethod
     def generate(self, rng: np.random.Generator) -> Graph:
         """Produce a synthetic graph comparable to the fitted one."""
+
+    # -- persistence contract (used by core.serialization.save_model) ----
+    #
+    # Every concrete model implements three hooks so a fitted instance
+    # can round-trip through a flat ``.npz`` archive:
+    #
+    # * ``config_dict()``   — constructor arguments rebuilding the model
+    #   unfitted (must be JSON-serialisable);
+    # * ``state_dict()``    — the fitted state as flat named float/int
+    #   arrays (neural parameters namespaced via :func:`prefix_state`);
+    # * ``load_state_dict`` — restores that state into a freshly
+    #   constructed instance whose ``_fitted_graph`` is already set (the
+    #   loader needs the graph for module shapes).
+    #
+    # Restored models generate and propose edges; optimizer state is not
+    # preserved, so loading is for inference, not for resuming training.
+
+    def config_dict(self) -> dict:
+        """Constructor keyword arguments that rebuild this model unfitted."""
+        raise NotImplementedError(f"{type(self).__name__} does not support "
+                                  "serialization")
+
+    @classmethod
+    def from_config_dict(cls, params: dict) -> "GraphGenerativeModel":
+        """Rebuild an unfitted model from :meth:`config_dict` output."""
+        return cls(**params)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Fitted state as a flat mapping of named arrays."""
+        raise NotImplementedError(f"{type(self).__name__} does not support "
+                                  "serialization")
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output; requires ``_fitted_graph``."""
+        raise NotImplementedError(f"{type(self).__name__} does not support "
+                                  "serialization")
 
     def propose_edges(self, num_edges: int,
                       rng: np.random.Generator) -> np.ndarray:

@@ -14,7 +14,8 @@ import scipy.sparse as sp
 
 from ..graph import Graph
 from ..nn import Adam, Linear, Module, Tensor
-from .base import GraphGenerativeModel, assemble_from_scores
+from .base import (GraphGenerativeModel, assemble_from_scores, extract_state,
+                   prefix_state)
 
 __all__ = ["GAEModel", "normalized_adjacency"]
 
@@ -116,3 +117,19 @@ class GAEModel(GraphGenerativeModel):
         scores = sp.coo_matrix(np.triu(noisy, k=1))
         scores = scores + scores.T
         return assemble_from_scores(scores, fitted.num_edges, min_degree=0)
+
+    # -- persistence ----------------------------------------------------
+    def config_dict(self) -> dict:
+        return {"hidden": self.hidden, "latent": self.latent,
+                "epochs": self.epochs, "lr": self.lr}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"z_mean": self._z_mean,
+                **prefix_state("encoder", self._encoder.state_dict())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        n = self._require_fitted().num_nodes
+        self._encoder = _GCNEncoder(n, self.hidden, self.latent,
+                                    np.random.default_rng(0))
+        self._encoder.load_state_dict(extract_state(state, "encoder"))
+        self._z_mean = np.asarray(state["z_mean"], dtype=np.float64).copy()

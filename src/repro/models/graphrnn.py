@@ -19,7 +19,7 @@ from ..graph import Graph
 from ..nn import Adam, LSTMCell, Linear, MLP, Module, Tensor, \
     clip_grad_norm, no_grad
 from ..nn import functional as F
-from .base import GraphGenerativeModel
+from .base import GraphGenerativeModel, extract_state, prefix_state
 
 __all__ = ["GraphRNN", "bfs_adjacency_sequences", "estimate_bandwidth"]
 
@@ -153,6 +153,31 @@ class GraphRNN(GraphGenerativeModel):
                 epoch_losses.append(loss.item())
             self.loss_history.append(float(np.mean(epoch_losses)))
         return self
+
+    # -- persistence ----------------------------------------------------
+    def config_dict(self) -> dict:
+        return {"hidden_dim": self.hidden_dim, "epochs": self.epochs,
+                "sequences_per_epoch": self.sequences_per_epoch,
+                "lr": self.lr, "max_bandwidth": self.max_bandwidth}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"bandwidth": np.array([self.bandwidth], dtype=np.int64),
+                **prefix_state("cell", self.cell.state_dict()),
+                **prefix_state("input_proj", self.input_proj.state_dict()),
+                **prefix_state("edge_decoder",
+                               self.edge_decoder.state_dict())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.bandwidth = int(state["bandwidth"][0])
+        init_rng = np.random.default_rng(0)
+        self.cell = LSTMCell(self.hidden_dim, self.hidden_dim, init_rng)
+        self.input_proj = Linear(self.bandwidth, self.hidden_dim, init_rng)
+        self.edge_decoder = MLP([self.hidden_dim, self.hidden_dim,
+                                 self.bandwidth], init_rng)
+        self.cell.load_state_dict(extract_state(state, "cell"))
+        self.input_proj.load_state_dict(extract_state(state, "input_proj"))
+        self.edge_decoder.load_state_dict(
+            extract_state(state, "edge_decoder"))
 
     # ------------------------------------------------------------------
     def generate(self, rng: np.random.Generator) -> Graph:

@@ -18,8 +18,8 @@ import numpy as np
 from ..graph import Graph, sample_walks, walks_to_edge_counts
 from ..nn import (Adam, Embedding, LSTMCell, Linear, Module, Tensor,
                   clip_grad_norm, no_grad)
-from .base import (GraphGenerativeModel, assemble_from_scores,
-                   propose_edges_from_walk_counts)
+from .base import (GraphGenerativeModel, assemble_from_scores, extract_state,
+                   prefix_state, propose_edges_from_walk_counts)
 
 __all__ = ["NetGAN", "NetGANGenerator", "NetGANCritic"]
 
@@ -180,6 +180,36 @@ class NetGAN(GraphGenerativeModel):
             loss_g.backward()
             clip_grad_norm(self.generator.parameters(), 5.0)
             g_opt.step()
+
+    # -- persistence ----------------------------------------------------
+    def config_dict(self) -> dict:
+        return {"walk_length": self.walk_length,
+                "iterations": self.iterations,
+                "batch_size": self.batch_size,
+                "latent_dim": self.latent_dim,
+                "hidden_dim": self.hidden_dim,
+                "node_dim": self.node_dim,
+                "critic_steps": self.critic_steps,
+                "lr": self.lr, "clip": self.clip,
+                "generation_walk_factor": self.generation_walk_factor}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {**prefix_state("generator", self.generator.state_dict()),
+                **prefix_state("critic", self.critic.state_dict())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        n = self._require_fitted().num_nodes
+        init_rng = np.random.default_rng(0)
+        self.generator = NetGANGenerator(n, self.latent_dim, self.hidden_dim,
+                                         self.node_dim, init_rng)
+        self.critic = NetGANCritic(n, self.hidden_dim, self.node_dim,
+                                   init_rng)
+        self.generator.load_state_dict(extract_state(state, "generator"))
+        self.critic.load_state_dict(extract_state(state, "critic"))
+        # Fresh optimizers so continue_training works after a restore
+        # (Adam moments are not preserved across serialization).
+        self._g_opt = Adam(self.generator.parameters(), lr=self.lr)
+        self._c_opt = Adam(self.critic.parameters(), lr=self.lr)
 
     # ------------------------------------------------------------------
     def generate_walks(self, num_walks: int,

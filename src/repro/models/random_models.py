@@ -35,6 +35,16 @@ class ERModel(GraphGenerativeModel):
         fitted = self._require_fitted()
         return erdos_renyi(fitted.num_nodes, self._p, rng)
 
+    # -- persistence ----------------------------------------------------
+    def config_dict(self) -> dict:
+        return {}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"p": np.array([self._p], dtype=np.float64)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._p = float(state["p"][0])
+
 
 class BAModel(GraphGenerativeModel):
     """Preferential attachment with the attachment count matched to m/n."""
@@ -57,3 +67,13 @@ class BAModel(GraphGenerativeModel):
         fitted = self._require_fitted()
         attach = min(self._attach, fitted.num_nodes - 1)
         return barabasi_albert(fitted.num_nodes, attach, rng)
+
+    # -- persistence ----------------------------------------------------
+    def config_dict(self) -> dict:
+        return {}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"attach": np.array([self._attach], dtype=np.int64)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._attach = int(state["attach"][0])

@@ -14,8 +14,8 @@ import numpy as np
 
 from ..graph import Graph, sample_walks, walks_to_edge_counts
 from ..nn import Adam, clip_grad_norm
-from .base import (GraphGenerativeModel, assemble_from_scores,
-                   propose_edges_from_walk_counts)
+from .base import (GraphGenerativeModel, assemble_from_scores, extract_state,
+                   prefix_state, propose_edges_from_walk_counts)
 from .walk_lm import TransformerWalkModel
 
 __all__ = ["TagGen"]
@@ -66,17 +66,30 @@ class TagGen(GraphGenerativeModel):
             self.loss_history.append(float(np.mean(epoch_losses)))
         return self
 
+    # -- persistence ----------------------------------------------------
+    def config_dict(self) -> dict:
+        return {"walk_length": self.walk_length, "epochs": self.epochs,
+                "walks_per_epoch": self.walks_per_epoch,
+                "batch_size": self.batch_size, "dim": self.dim,
+                "num_heads": self.num_heads, "num_layers": self.num_layers,
+                "lr": self.lr,
+                "generation_walk_factor": self.generation_walk_factor}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return prefix_state("model", self.model.state_dict())
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        n = self._require_fitted().num_nodes
+        self.model = TransformerWalkModel(n, self.dim, self.num_heads,
+                                          self.num_layers, self.walk_length,
+                                          np.random.default_rng(0))
+        self.model.load_state_dict(extract_state(state, "model"))
+
     def generate_walks(self, num_walks: int,
                        rng: np.random.Generator) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("TagGen must be fitted before generating")
-        chunks = []
-        remaining = num_walks
-        while remaining > 0:
-            take = min(remaining, 256)
-            chunks.append(self.model.sample(take, self.walk_length, rng))
-            remaining -= take
-        return np.concatenate(chunks, axis=0)
+        return self.model.sample_chunked(num_walks, self.walk_length, rng)
 
     def generate(self, rng: np.random.Generator) -> Graph:
         fitted = self._require_fitted()

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import (Embedding, LayerNorm, Linear, Module, Tensor, causal_mask,
-                  no_grad, sinusoidal_positions)
+from ..nn import (Embedding, LayerNorm, Linear, Module, Tensor, WalkDecoder,
+                  causal_mask, no_grad, sinusoidal_positions)
 from ..nn.attention import TransformerBlock
 from ..nn import functional as F
 
@@ -74,14 +74,10 @@ class TransformerWalkModel(Module):
         return -self.log_likelihood(walks).mean()
 
     # ------------------------------------------------------------------
-    def sample(self, num_walks: int, length: int,
-               rng: np.random.Generator, temperature: float = 1.0,
-               starts: np.ndarray | None = None) -> np.ndarray:
-        """Autoregressively sample synthetic walks (no gradients).
-
-        ``starts`` optionally pins the first node of each walk, which the
-        FairGen assembler uses to give protected nodes walk coverage.
-        """
+    def _sampling_prompt(self, num_walks: int, length: int,
+                         temperature: float,
+                         starts: np.ndarray | None) -> np.ndarray:
+        """Validate sampling arguments and build the prompt tokens."""
         if temperature <= 0:
             raise ValueError("temperature must be positive")
         if length > self.max_length:
@@ -90,15 +86,90 @@ class TransformerWalkModel(Module):
         if starts is not None:
             starts = np.asarray(starts, dtype=np.int64).reshape(num_walks, 1)
             tokens = np.concatenate([tokens, starts], axis=1)
+        return tokens
+
+    @staticmethod
+    def _sample_step(logits: np.ndarray, temperature: float, num_nodes: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Draw one token per walk from ``(B, vocab)`` logits.
+
+        Consumes exactly one ``rng.random((B, 1))`` draw — the RNG
+        contract shared by the KV-cached path and the full-recompute
+        reference, so seeded outputs are interchangeable.
+        """
+        logits = logits / temperature
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        cumulative = probs.cumsum(axis=1)
+        u = rng.random((logits.shape[0], 1))
+        next_ids = (cumulative < u).sum(axis=1)
+        return np.minimum(next_ids, num_nodes - 1)
+
+    def sample(self, num_walks: int, length: int,
+               rng: np.random.Generator, temperature: float = 1.0,
+               starts: np.ndarray | None = None) -> np.ndarray:
+        """Autoregressively sample synthetic walks (no gradients).
+
+        ``starts`` optionally pins the first node of each walk, which the
+        FairGen assembler uses to give protected nodes walk coverage.
+
+        Decoding is incremental: one :meth:`WalkDecoder.prefill` pass
+        over the prompt, then one single-token :meth:`WalkDecoder.step`
+        per sampled position against the per-layer KV caches — O(T)
+        attention per step instead of the O(T^2) full-prefix recompute of
+        :meth:`sample_reference`, and no autograd bookkeeping at all.
+        RNG consumption is identical to the reference, so seeded outputs
+        match it.
+        """
+        tokens = self._sampling_prompt(num_walks, length, temperature, starts)
+        if tokens.shape[1] >= length + 1:
+            return tokens[:, 1:]
+        decoder = WalkDecoder(self)
+        logits = decoder.prefill(tokens)
+        while True:
+            next_ids = self._sample_step(logits, temperature,
+                                         self.num_nodes, rng)
+            tokens = np.concatenate([tokens, next_ids[:, None]], axis=1)
+            if tokens.shape[1] >= length + 1:
+                return tokens[:, 1:]
+            logits = decoder.step(next_ids)
+
+    def sample_reference(self, num_walks: int, length: int,
+                         rng: np.random.Generator, temperature: float = 1.0,
+                         starts: np.ndarray | None = None) -> np.ndarray:
+        """Slow sampling path recomputing the full prefix every step.
+
+        Kept as the parity oracle for the KV-cached :meth:`sample` (and
+        as the baseline of the decode smoke benchmark): for the same RNG
+        state both paths must produce identical walks.
+        """
+        tokens = self._sampling_prompt(num_walks, length, temperature, starts)
         with no_grad():
             while tokens.shape[1] < length + 1:
-                logits = self.forward(tokens).numpy()[:, -1, :] / temperature
-                logits -= logits.max(axis=1, keepdims=True)
-                probs = np.exp(logits)
-                probs /= probs.sum(axis=1, keepdims=True)
-                cumulative = probs.cumsum(axis=1)
-                u = rng.random((num_walks, 1))
-                next_ids = (cumulative < u).sum(axis=1)
-                next_ids = np.minimum(next_ids, self.num_nodes - 1)
+                logits = self.forward(tokens).numpy()[:, -1, :]
+                next_ids = self._sample_step(logits, temperature,
+                                             self.num_nodes, rng)
                 tokens = np.concatenate([tokens, next_ids[:, None]], axis=1)
         return tokens[:, 1:]
+
+    def sample_chunked(self, num_walks: int, length: int,
+                       rng: np.random.Generator, temperature: float = 1.0,
+                       chunk: int = 256,
+                       starts_fn=None) -> np.ndarray:
+        """Sample ``num_walks`` walks in KV-cached chunks.
+
+        The single generation front door for TagGen and FairGen: chunking
+        bounds the live KV-cache footprint at ``chunk * layers * T * dim``
+        floats, and ``starts_fn(take, rng)`` (when given) pins the start
+        node of each chunk's walks — FairGen's protected-coverage hook.
+        """
+        chunks = []
+        remaining = num_walks
+        while remaining > 0:
+            take = min(remaining, chunk)
+            starts = starts_fn(take, rng) if starts_fn is not None else None
+            chunks.append(self.sample(take, length, rng,
+                                      temperature=temperature, starts=starts))
+            remaining -= take
+        return np.concatenate(chunks, axis=0)

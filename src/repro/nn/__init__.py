@@ -3,8 +3,9 @@
 from .tensor import Tensor, no_grad, is_grad_enabled
 from .layers import (Dropout, Embedding, LayerNorm, Linear, MLP, Module,
                      Parameter, Sequential)
-from .attention import (MultiHeadSelfAttention, TransformerBlock, causal_mask,
-                        sinusoidal_positions)
+from .attention import (LayerKVCache, MultiHeadSelfAttention,
+                        TransformerBlock, causal_mask, sinusoidal_positions)
+from .inference import WalkDecoder
 from .rnn import LSTM, LSTMCell
 from .optim import (Adagrad, Adam, CosineAnnealingLR, LRScheduler,
                     Optimizer, RMSprop, SGD, StepLR, clip_grad_norm)
@@ -16,7 +17,7 @@ __all__ = [
     "Module", "Parameter", "Linear", "Embedding", "LayerNorm", "Dropout",
     "Sequential", "MLP",
     "MultiHeadSelfAttention", "TransformerBlock", "causal_mask",
-    "sinusoidal_positions",
+    "sinusoidal_positions", "LayerKVCache", "WalkDecoder",
     "LSTM", "LSTMCell",
     "Optimizer", "SGD", "Adam", "RMSprop", "Adagrad", "clip_grad_norm",
     "LRScheduler", "StepLR", "CosineAnnealingLR",

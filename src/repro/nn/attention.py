@@ -7,23 +7,33 @@ autoregressive language model over node-id sequences (random walks).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 from .layers import Dropout, LayerNorm, Linear, Module, Parameter
 
 __all__ = [
     "causal_mask",
     "sinusoidal_positions",
+    "LayerKVCache",
     "MultiHeadSelfAttention",
     "TransformerBlock",
 ]
 
 
+@lru_cache(maxsize=None)
 def causal_mask(length: int) -> np.ndarray:
-    """Additive mask: 0 on/below the diagonal, ``-1e9`` above it."""
+    """Additive mask: 0 on/below the diagonal, ``-1e9`` above it.
+
+    Memoised per length — training forwards request the same handful of
+    lengths thousands of times, so the ``np.triu_indices`` build runs
+    once per shape.  The returned array is shared and read-only.
+    """
     mask = np.zeros((length, length))
     mask[np.triu_indices(length, k=1)] = -1e9
+    mask.setflags(write=False)
     return mask
 
 
@@ -35,6 +45,71 @@ def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
     enc[:, 0::2] = np.sin(position * div)
     enc[:, 1::2] = np.cos(position * div[: dim // 2])
     return enc
+
+
+class LayerKVCache:
+    """Per-layer key/value cache for incremental decoding.
+
+    Holds the raw ``(B, H, T, d)`` key and value arrays of every position
+    processed so far.  A prefill pass over the prompt populates it; each
+    decode step appends one position and attends against the whole cache,
+    so no causal mask is needed after prefill.  The cache stores detached
+    ndarrays — gradients never flow into cached positions — making it an
+    inference-only structure (use under ``no_grad()``).
+
+    With ``capacity`` the buffers are preallocated at ``(B, H, capacity,
+    d)`` on first append and every later step writes into a slice, so
+    the decode hot path never reallocates (the convention of
+    :class:`repro.nn.inference.WalkDecoder`, which knows the maximum
+    session length up front).  Without it, buffers grow by
+    concatenation.
+    """
+
+    __slots__ = ("_k", "_v", "_length", "capacity")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._k: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._length = 0
+        self.capacity = capacity
+
+    @property
+    def length(self) -> int:
+        """Number of cached positions."""
+        return self._length
+
+    @property
+    def k(self) -> np.ndarray | None:
+        """Cached keys, ``(B, H, length, d)``."""
+        return None if self._k is None else self._k[:, :, :self._length]
+
+    @property
+    def v(self) -> np.ndarray | None:
+        """Cached values, ``(B, H, length, d)``."""
+        return None if self._v is None else self._v[:, :, :self._length]
+
+    def append(self, k_new: np.ndarray,
+               v_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new positions and return the full (k, v) arrays."""
+        batch, heads, steps, dim = k_new.shape
+        if self._k is None:
+            if self.capacity is None:
+                self._k, self._v = k_new, v_new
+                self._length = steps
+                return self.k, self.v
+            self._k = np.empty((batch, heads, self.capacity, dim),
+                               dtype=k_new.dtype)
+            self._v = np.empty_like(self._k)
+        if self.capacity is not None:
+            if self._length + steps > self.capacity:
+                raise ValueError("KV cache capacity exceeded")
+            self._k[:, :, self._length: self._length + steps] = k_new
+            self._v[:, :, self._length: self._length + steps] = v_new
+        else:
+            self._k = np.concatenate([self._k, k_new], axis=2)
+            self._v = np.concatenate([self._v, v_new], axis=2)
+        self._length += steps
+        return self.k, self.v
 
 
 class MultiHeadSelfAttention(Module):
@@ -61,11 +136,33 @@ class MultiHeadSelfAttention(Module):
         # (B, T, D) -> (B, H, T, d)
         return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+    def forward(self, x: Tensor, mask: np.ndarray | None = None,
+                cache: LayerKVCache | None = None) -> Tensor:
+        """Attend ``x`` over itself, or over ``cache`` + ``x`` when given.
+
+        With ``cache``, the keys/values of the new positions are appended
+        to the cache and the queries attend over the full cached history
+        — the incremental-decoding contract: prefill the prompt once
+        (with a causal ``mask``), then feed one position per call with no
+        mask.  Cached positions are detached, so this path is for
+        inference only and raises under autograd rather than silently
+        severing the key/value gradient flow.
+
+        :meth:`repro.nn.inference.WalkDecoder._forward` is the raw-
+        ndarray mirror of this arm (the production decode path); any
+        change to the caching contract must land in both.
+        """
         batch, length, _ = x.shape
         q = self._split_heads(self.q_proj(x), batch, length)
         k = self._split_heads(self.k_proj(x), batch, length)
         v = self._split_heads(self.v_proj(x), batch, length)
+        if cache is not None:
+            if is_grad_enabled() and k.requires_grad:
+                raise RuntimeError(
+                    "the KV cache is inference-only: cached keys/values "
+                    "do not propagate gradients, so call under no_grad()")
+            k_all, v_all = cache.append(k.numpy(), v.numpy())
+            k, v = Tensor(k_all), Tensor(v_all)
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
         if mask is not None:
@@ -90,7 +187,8 @@ class TransformerBlock(Module):
         self.ff_out = Linear(ff_mult * dim, dim, rng)
         self.dropout = Dropout(dropout, rng)
 
-    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
-        x = x + self.attn(self.norm1(x), mask)
+    def forward(self, x: Tensor, mask: np.ndarray | None = None,
+                cache: LayerKVCache | None = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask, cache=cache)
         hidden = self.ff_in(self.norm2(x)).gelu()
         return x + self.dropout(self.ff_out(hidden))

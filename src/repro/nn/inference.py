@@ -1,0 +1,177 @@
+"""Grad-free incremental decoding over the transformer walk generator.
+
+:meth:`TransformerWalkModel.sample` used to re-run the full transformer
+over the entire prefix for every sampled token — O(T^2) attention work
+per step, O(T^3) per walk — while also paying :class:`~repro.nn.Tensor`
+graph-bookkeeping overhead it never used (sampling takes no gradients).
+This module is the fast inference path that removes both costs:
+
+* :class:`WalkDecoder` snapshots the raw ``float64`` parameter arrays of
+  a :class:`~repro.models.walk_lm.TransformerWalkModel` and evaluates
+  the network with plain NumPy ops — no ``Tensor`` allocation, no
+  autograd closures, no computation graph;
+* a per-layer :class:`~repro.nn.attention.LayerKVCache` stores the keys
+  and values of every position processed so far, so after one *prefill*
+  pass over the prompt each *decode step* costs a single forward over
+  one token attending to the cached history — O(T) per step instead of
+  O(T^2), and no causal mask is needed in decode.
+
+Every primitive mirrors the corresponding :class:`~repro.nn.Tensor` op
+exactly (same operation order, same stabilisations), so the logits the
+decoder emits are numerically interchangeable with the training-path
+``forward`` and seeded sampling stays reproducible against the slow
+full-recompute reference.
+
+Dropout is skipped: the decoder is an inference structure, and the
+training path applies dropout only when gradients are enabled anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import LayerKVCache, causal_mask
+
+__all__ = ["WalkDecoder"]
+
+
+def _layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                eps: float) -> np.ndarray:
+    """Mirror of :meth:`repro.nn.layers.LayerNorm.forward`."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered / np.sqrt(var + eps) * gamma + beta
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Mirror of :meth:`repro.nn.Tensor.softmax`."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    """Mirror of :meth:`repro.nn.Tensor.gelu` (tanh approximation)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+
+class _BlockWeights:
+    """Raw parameter views of one transformer block."""
+
+    __slots__ = ("norm1", "norm2", "q", "k", "v", "out", "ff_in", "ff_out",
+                 "num_heads", "head_dim", "dim")
+
+    def __init__(self, block) -> None:
+        attn = block.attn
+        self.norm1 = (block.norm1.gamma.data, block.norm1.beta.data,
+                      block.norm1.eps)
+        self.norm2 = (block.norm2.gamma.data, block.norm2.beta.data,
+                      block.norm2.eps)
+        self.q = (attn.q_proj.weight.data, attn.q_proj.bias.data)
+        self.k = (attn.k_proj.weight.data, attn.k_proj.bias.data)
+        self.v = (attn.v_proj.weight.data, attn.v_proj.bias.data)
+        self.out = (attn.out_proj.weight.data, attn.out_proj.bias.data)
+        self.ff_in = (block.ff_in.weight.data, block.ff_in.bias.data)
+        self.ff_out = (block.ff_out.weight.data, block.ff_out.bias.data)
+        self.num_heads = attn.num_heads
+        self.head_dim = attn.head_dim
+        self.dim = attn.dim
+
+
+class WalkDecoder:
+    """KV-cached incremental decoder for one sampling session.
+
+    Usage::
+
+        decoder = WalkDecoder(model)
+        logits = decoder.prefill(prompt_tokens)   # (B, vocab)
+        while generating:
+            next_ids = sample_from(logits)
+            logits = decoder.step(next_ids)       # (B, vocab)
+
+    The decoder views (never copies) the model's parameter arrays, so it
+    is cheap to construct per :meth:`sample` call; it must not outlive a
+    training step that updates the parameters in place.
+    """
+
+    def __init__(self, model) -> None:
+        self._embed = model.embed.weight.data
+        self._positions = model._positions
+        self._blocks = [_BlockWeights(b) for b in model.blocks]
+        self._final_norm = (model.final_norm.gamma.data,
+                            model.final_norm.beta.data, model.final_norm.eps)
+        self._head = (model.head.weight.data, model.head.bias.data)
+        # Preallocated at the session maximum: decode steps write into
+        # the cache buffers instead of reallocating them every token.
+        self._caches = [LayerKVCache(capacity=self._positions.shape[0])
+                        for _ in model.blocks]
+        self._length = 0
+
+    @property
+    def length(self) -> int:
+        """Number of positions decoded so far (prompt included)."""
+        return self._length
+
+    # ------------------------------------------------------------------
+    def _forward(self, tokens: np.ndarray,
+                 mask: np.ndarray | None) -> np.ndarray:
+        """Advance the caches by ``tokens`` and return last-step logits."""
+        batch, length = tokens.shape
+        if self._length + length > self._positions.shape[0]:
+            raise ValueError("decoding past the configured maximum length")
+        h = self._embed[tokens] \
+            + self._positions[self._length: self._length + length]
+        scale = None
+        for blk, cache in zip(self._blocks, self._caches):
+            x = _layer_norm(h, *blk.norm1)
+            if scale is None:
+                scale = 1.0 / np.sqrt(blk.head_dim)
+
+            def split(t: np.ndarray) -> np.ndarray:
+                return t.reshape(batch, length, blk.num_heads,
+                                 blk.head_dim).transpose(0, 2, 1, 3)
+
+            q = split(x @ blk.q[0] + blk.q[1])
+            k = split(x @ blk.k[0] + blk.k[1])
+            v = split(x @ blk.v[0] + blk.v[1])
+            k_all, v_all = cache.append(k, v)
+            scores = (q @ k_all.transpose(0, 1, 3, 2)) * scale
+            if mask is not None:
+                scores = scores + mask
+            context = _softmax(scores) @ v_all
+            merged = context.transpose(0, 2, 1, 3).reshape(
+                batch, length, blk.dim)
+            h = h + (merged @ blk.out[0] + blk.out[1])
+            x2 = _layer_norm(h, *blk.norm2)
+            hidden = _gelu(x2 @ blk.ff_in[0] + blk.ff_in[1])
+            h = h + (hidden @ blk.ff_out[0] + blk.ff_out[1])
+        self._length += length
+        out = _layer_norm(h[:, -1, :], *self._final_norm)
+        return out @ self._head[0] + self._head[1]
+
+    # ------------------------------------------------------------------
+    def prefill(self, tokens: np.ndarray) -> np.ndarray:
+        """Run the prompt through the network, filling every KV cache.
+
+        ``tokens`` is the ``(B, T)`` integer prompt (start token, plus
+        any pinned start nodes).  Returns the ``(B, vocab)`` logits of
+        the final prompt position — the distribution of the first
+        sampled token.
+        """
+        if self._length:
+            raise RuntimeError("prefill must be the first decoder call")
+        tokens = np.asarray(tokens, dtype=np.int64)
+        return self._forward(tokens, causal_mask(tokens.shape[1]))
+
+    def step(self, next_ids: np.ndarray) -> np.ndarray:
+        """Decode one token per walk against the cached keys/values.
+
+        No mask is needed: the single new query may attend to every
+        cached position.  Returns the next ``(B, vocab)`` logits.
+        """
+        if not self._length:
+            raise RuntimeError("call prefill before step")
+        next_ids = np.asarray(next_ids, dtype=np.int64).reshape(-1, 1)
+        return self._forward(next_ids, None)

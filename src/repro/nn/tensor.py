@@ -140,8 +140,17 @@ class Tensor:
 
     def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[["Tensor"], None] | None) -> "Tensor":
-        """Create an op output; record the closure if autograd is active."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        """Create an op output; record the closure if autograd is active.
+
+        Under ``no_grad()`` this is the inference fast path: the output
+        tensor is constructed bare — no parent tuple, no backward
+        closure, no graph — so bulk sampling does not pay autograd
+        bookkeeping.  (The heavy decode loop goes further and bypasses
+        ``Tensor`` entirely via :mod:`repro.nn.inference`.)
+        """
+        if not _GRAD_ENABLED:
+            return Tensor(data)
+        requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._prev = tuple(parents)

@@ -217,6 +217,37 @@ class TestRunner:
         assert modeled.model is not None and modeled.model.is_fitted
         assert _adjacency_equal(cached.generated, modeled.generated)
 
+    def test_warm_cache_satisfies_need_model_with_zero_fits(
+            self, tmp_path, monkeypatch):
+        # A plain run persists the fitted model alongside the artifact;
+        # a later need_model run must replay it without any fitting.
+        Runner(cache_dir=tmp_path).run(self.SPEC)
+        assert (tmp_path / f"{self.SPEC.cache_key()}.model.npz").exists()
+
+        fits: list[int] = []
+        original = ERModel.fit
+
+        def counting_fit(model, *args, **kwargs):
+            fits.append(1)
+            return original(model, *args, **kwargs)
+
+        monkeypatch.setattr(ERModel, "fit", counting_fit)
+        result = Runner(cache_dir=tmp_path).run(self.SPEC, need_model=True)
+        assert result.from_cache
+        assert result.model is not None and result.model.is_fitted
+        assert fits == []  # zero fits on a warm cache
+
+    def test_need_model_stamp_mismatch_refits(self, tmp_path):
+        # A stale stamp must invalidate the model artifact too, not
+        # replay a model fitted under different resolved parameters.
+        spec = ExperimentSpec(model="fairgen", dataset=SMALLEST,
+                              profile="smoke")
+        Runner(cache_dir=tmp_path).run(spec, need_model=True)
+        miss = Runner(cache_dir=tmp_path, few_shot_per_class=5).run(
+            spec, need_model=True)
+        assert not miss.from_cache
+        assert miss.model is not None and miss.model.is_fitted
+
     def test_metrics_attached_and_cached(self, tmp_path):
         runner = Runner(cache_dir=tmp_path)
         result = runner.run(self.SPEC, with_metrics=True)
@@ -330,6 +361,118 @@ class TestRunner:
         # artifacts landed in the shared cache; the parent replays them
         replay = runner.run(specs[0])
         assert _adjacency_equal(replay.generated, results[0].generated)
+
+    def test_run_many_parallel_need_model_ships_models_via_cache(
+            self, tmp_path, monkeypatch):
+        # With a shared cache_dir, need_model no longer forces the
+        # sequential path: workers persist their fitted models and the
+        # parent restores them from the archives.
+        specs = [ExperimentSpec(model="er", dataset=SMALLEST, seed=s)
+                 for s in (3, 4)]
+        results = Runner(cache_dir=tmp_path).run_many(
+            specs, processes=2, need_model=True)
+        assert all(r.model is not None and r.model.is_fitted
+                   for r in results)
+        for spec in specs:
+            assert (tmp_path / f"{spec.cache_key()}.model.npz").exists()
+
+        # Second batch against the warm cache performs zero fits.
+        def no_fit(*args, **kwargs):
+            raise AssertionError("warm run_many must not fit")
+
+        monkeypatch.setattr(ERModel, "fit", no_fit)
+        warm = Runner(cache_dir=tmp_path).run_many(
+            specs, processes=2, need_model=True)
+        assert all(r.from_cache and r.model is not None for r in warm)
+
+    def test_custom_model_degrades_to_graph_only_caching(self, tmp_path):
+        # A third-party registry model without the serialization hooks
+        # must not crash cached runs: the graph artifact is persisted,
+        # the model archive is skipped, and need_model refits.
+        from repro.experiments import register_model
+        from repro.models import GraphGenerativeModel
+
+        class EchoModel(GraphGenerativeModel):
+            name = "Echo"
+
+            def fit(self, graph, rng, supervision=None):
+                self._fitted_graph = graph
+                return self
+
+            def generate(self, rng):
+                return self._fitted_graph
+
+        try:
+            register_model(
+                "echo-test", benchmarked=False,
+                profiles={p: {} for p in profile_names()})(
+                    lambda **kw: EchoModel())
+        except ValueError:
+            pass  # already registered by an earlier run in this process
+
+        spec = ExperimentSpec(model="echo-test", dataset=SMALLEST)
+        cold = Runner(cache_dir=tmp_path).run(spec)
+        assert not cold.from_cache
+        assert (tmp_path / f"{spec.cache_key()}.npz").exists()
+        assert not (tmp_path / f"{spec.cache_key()}.model.npz").exists()
+        warm = Runner(cache_dir=tmp_path).run(spec)
+        assert warm.from_cache  # graph-only entry still replays
+        modeled = Runner(cache_dir=tmp_path).run(spec, need_model=True)
+        assert modeled.model is not None and modeled.model.is_fitted
+
+    def test_run_many_need_model_unserialisable_fits_once_in_parent(
+            self, tmp_path):
+        # A model that can't ship through the cache must not be fitted
+        # in a worker (the result would be discarded and refit); it runs
+        # exactly once, in the parent.
+        import os
+
+        from repro.experiments import register_model
+        from repro.models import GraphGenerativeModel
+
+        marker = tmp_path / "fits.log"
+
+        class MarkerModel(GraphGenerativeModel):
+            name = "Marker"
+            marker_path: str | None = None
+
+            def fit(self, graph, rng, supervision=None):
+                if MarkerModel.marker_path:
+                    with open(MarkerModel.marker_path, "a") as fh:
+                        fh.write(f"{os.getpid()}\n")
+                self._fitted_graph = graph
+                return self
+
+            def generate(self, rng):
+                return self._fitted_graph
+
+        try:
+            register_model(
+                "marker-test", benchmarked=False,
+                profiles={p: {} for p in profile_names()})(
+                    lambda **kw: MarkerModel())
+        except ValueError:
+            pass  # already registered earlier in this process
+
+        MarkerModel.marker_path = str(marker)
+        specs = [ExperimentSpec(model="marker-test", dataset=SMALLEST,
+                                seed=s) for s in (0, 1)]
+        results = Runner(cache_dir=tmp_path / "cache").run_many(
+            specs, processes=2, need_model=True)
+        assert all(r.model is not None and r.model.is_fitted
+                   for r in results)
+        fits = marker.read_text().splitlines()
+        assert len(fits) == len(specs)  # one fit per spec, none wasted
+        assert set(fits) == {str(os.getpid())}  # all in the parent
+
+    def test_run_many_need_model_without_cache_runs_sequentially(self):
+        # No cache_dir means no channel to ship fitted models across
+        # processes, so the batch falls back to the in-parent path.
+        specs = [ExperimentSpec(model="er", dataset=SMALLEST, seed=s)
+                 for s in (5, 6)]
+        results = Runner().run_many(specs, processes=2, need_model=True)
+        assert all(r.model is not None and r.model.is_fitted
+                   for r in results)
 
     def test_surrogate_disabled_raises_for_labelled_models(self):
         runner = Runner(allow_surrogate=False)

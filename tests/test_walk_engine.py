@@ -90,7 +90,7 @@ class TestStructuralValidity:
 
     def test_exact_fallback_matches_semantics(self, two_cliques_graph, rng):
         """With a zero rejection budget every biased step goes through the
-        exact per-walk fallback; walks must stay valid and biased."""
+        exact batched fallback; walks must stay valid and biased."""
         engine = WalkEngine(two_cliques_graph, max_rejection_rounds=0)
         starts = rng.integers(8, size=32)
         walks = engine.node2vec_walks(starts, 8, rng, p=1e-3, q=1.0)
@@ -98,6 +98,52 @@ class TestStructuralValidity:
         # Tiny p: the third node should usually return to the first.
         returns = (walks[:, 2] == walks[:, 0]).mean()
         assert returns > 0.5
+
+    def test_exact_fallback_batched_matches_scalar_reference(self):
+        """The batched straggler step is pinned to the per-walk reference.
+
+        Both paths draw one uniform per pending walk in the same RNG
+        order (``rng.random(n)`` yields the same doubles as ``n`` scalar
+        calls) and build bit-identical per-row CDFs, so with a zero
+        rejection budget — every biased step a straggler — seeded walks
+        must match exactly, not just statistically.
+        """
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(60, 0.15, np.random.default_rng(0))
+        batched = WalkEngine(graph, max_rejection_rounds=0)
+        scalar = WalkEngine(graph, max_rejection_rounds=0)
+        scalar._exact_biased_steps = scalar._exact_biased_steps_scalar
+        starts = np.arange(40)
+        for p, q in [(0.02, 30.0), (5.0, 0.1)]:
+            got = batched.node2vec_walks(starts, 15,
+                                         np.random.default_rng(9), p=p, q=q)
+            want = scalar.node2vec_walks(starts, 15,
+                                         np.random.default_rng(9), p=p, q=q)
+            np.testing.assert_array_equal(got, want)
+
+    def test_scalar_rng_draws_match_batched_draw(self):
+        """The RNG contract the straggler parity relies on."""
+        a = np.random.default_rng(123).random(16)
+        gen = np.random.default_rng(123)
+        b = np.array([gen.random() for _ in range(16)])
+        np.testing.assert_array_equal(a, b)
+
+    def test_exact_fallback_cell_budget_chunking_preserves_output(self):
+        """A tiny cell budget forces many small batches; the chunking
+        must be invisible — same walks as one unbounded rectangle."""
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(60, 0.15, np.random.default_rng(0))
+        wide = WalkEngine(graph, max_rejection_rounds=0)
+        narrow = WalkEngine(graph, max_rejection_rounds=0)
+        narrow._EXACT_CELL_BUDGET = 16  # a few walks per batch
+        starts = np.arange(40)
+        a = wide.node2vec_walks(starts, 12, np.random.default_rng(4),
+                                p=0.05, q=10.0)
+        b = narrow.node2vec_walks(starts, 12, np.random.default_rng(4),
+                                  p=0.05, q=10.0)
+        np.testing.assert_array_equal(a, b)
 
 
 class TestBiasStatistics:
