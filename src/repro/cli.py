@@ -7,18 +7,25 @@ Commands
 ``generate``   fit a model on a dataset and report generation quality
 ``evaluate``   overall + protected discrepancy of a fitted model
 ``augment``    run the Figure 6 data-augmentation study
+``sweep``      submit a model×dataset×profile×seed grid to a job queue,
+               optionally self-hosting local workers
+``worker``     drain a sweep queue (run one per core / per host)
 
 Every model run routes through the experiment API
 (:class:`repro.experiments.Runner`): models are built from the registry
 under a named hyperparameter profile (``--profile paper|bench|smoke``),
 unlabeled datasets receive surrogate supervision for label-aware models
 (disable with ``--no-surrogate-labels``), and ``--cache-dir`` enables the
-disk-backed artifact cache so repeated invocations skip fitting.
+disk-backed artifact cache so repeated invocations skip fitting.  The
+``sweep``/``worker`` pair runs batches across a worker fleet: both sides
+only need to see the same ``--queue-dir`` and ``--cache-dir``, so a
+second machine pointing at a shared mount joins the fleet as-is.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -26,7 +33,8 @@ import numpy as np
 from .data import (dataset_names, dataset_statistics, labeled_dataset_names,
                    load_dataset)
 from .eval import augmentation_study
-from .experiments import ExperimentSpec, Runner
+from .experiments import ExperimentSpec, JobQueue, QueueError, Runner, Worker
+from .experiments import sweep as sweep_api
 from .graph.metrics import METRIC_NAMES
 from .registry import get_entry, model_names, profile_names
 from .utils import format_table
@@ -77,6 +85,63 @@ def build_parser() -> argparse.ArgumentParser:
     # substitute here, so only the labeled datasets are accepted.
     _add_run_arguments(aug, datasets=labeled_dataset_names())
     aug.add_argument("--fraction", type=float, default=0.05)
+
+    swp = sub.add_parser(
+        "sweep", help="run a model/dataset/profile/seed grid through the "
+                      "distributed job queue")
+    swp.add_argument("--queue-dir", required=True,
+                     help="job-queue directory shared by every worker")
+    swp.add_argument("--cache-dir", required=True,
+                     help="shared artifact cache where results land")
+    swp.add_argument("--model", action="append", required=True,
+                     choices=MODEL_CHOICES, help="repeat for several models")
+    swp.add_argument("--dataset", action="append", required=True,
+                     choices=dataset_names(), help="repeat for several "
+                     "datasets")
+    swp.add_argument("--profile", action="append", choices=profile_names(),
+                     default=None, help="repeat for several profiles "
+                     "(default: paper)")
+    swp.add_argument("--seed", action="append", type=int, default=None,
+                     help="repeat for several seeds (default: 0)")
+    swp.add_argument("--set", action="append", default=[], metavar="K=V",
+                     dest="overrides",
+                     help="hyperparameter override axis, JSON-valued: "
+                          "--set self_paced_cycles=2 or "
+                          "--set self_paced_cycles=[2,4] (a list sweeps "
+                          "the axis)")
+    swp.add_argument("--workers", type=int, default=2,
+                     help="local worker processes to self-host (0: submit "
+                          "and wait for external `repro worker` fleets)")
+    swp.add_argument("--with-metrics", action="store_true",
+                     help="compute the discrepancy scoreboard per spec")
+    swp.add_argument("--submit-only", action="store_true",
+                     help="enqueue the grid and exit without waiting")
+    swp.add_argument("--lease-timeout", type=float, default=None,
+                     help="seconds without heartbeat before a job is "
+                          "requeued (recorded in the queue config)")
+    swp.add_argument("--max-retries", type=int, default=None,
+                     help="requeues per job before it fails terminally")
+    swp.add_argument("--timeout", type=float, default=None,
+                     help="give up if the sweep has not drained in time")
+    swp.add_argument("--surrogate-labels", default=True,
+                     action=argparse.BooleanOptionalAction)
+
+    wrk = sub.add_parser(
+        "worker", help="drain jobs from a sweep queue until it is empty")
+    wrk.add_argument("queue_dir", help="job-queue directory to drain")
+    wrk.add_argument("--cache-dir", required=True,
+                     help="shared artifact cache where results land")
+    wrk.add_argument("--max-jobs", type=int, default=None,
+                     help="exit after executing this many jobs")
+    wrk.add_argument("--keep-alive", action="store_true",
+                     help="keep polling an empty queue instead of exiting "
+                          "(standing-fleet mode)")
+    wrk.add_argument("--poll", type=float, default=0.5,
+                     help="seconds between claim attempts when idle")
+    wrk.add_argument("--worker-id", default=None,
+                     help="override the autogenerated worker identity")
+    wrk.add_argument("--surrogate-labels", default=True,
+                     action=argparse.BooleanOptionalAction)
     return parser
 
 
@@ -181,12 +246,117 @@ def _cmd_augment(args) -> int:
     return 0
 
 
+def _parse_override_axes(pairs: list[str]) -> dict[str, object]:
+    """Parse ``--set k=v`` flags; values are JSON (fallback: string)."""
+    axes: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects K=V, got {pair!r}")
+        try:
+            axes[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            axes[key] = raw  # bare strings need no quoting
+    return axes
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        specs = sweep_api.grid(
+            args.model, args.dataset,
+            profiles=args.profile or ["paper"],
+            seeds=args.seed if args.seed is not None else [0],
+            overrides=_parse_override_axes(args.overrides))
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(str(exc)) from exc
+    queue = JobQueue(args.queue_dir, lease_timeout=args.lease_timeout,
+                     max_retries=args.max_retries)
+    print(f"sweep: {len(specs)} spec(s) -> {queue.queue_dir}")
+    if args.submit_only:
+        queue.submit(specs, with_metrics=args.with_metrics)
+        counts = queue.counts()
+        print(f"submitted; queue now {counts} — drain with "
+              f"`repro worker {queue.queue_dir} "
+              f"--cache-dir {args.cache_dir}`")
+        return 0
+
+    total = len(specs)
+    live = sys.stdout.isatty()
+    last_counts: dict[str, int] = {}
+
+    def progress(counts: dict[str, int]) -> None:
+        # A terminal gets a continuously refreshed \r line; a log file
+        # only gets a new line when the counts actually change (a long
+        # sweep polls several times a second).
+        if not live and counts == last_counts:
+            return
+        last_counts.update(counts)
+        line = (f"done {counts['done']}/{total}  "
+                f"pending={counts['pending']} running={counts['claimed']} "
+                f"failed={counts['failed']}")
+        print(f"\r{line}", end="" if live else "\n", flush=True)
+
+    try:
+        report = sweep_api.run_sweep(
+            specs, args.queue_dir, args.cache_dir, workers=args.workers,
+            with_metrics=args.with_metrics,
+            lease_timeout=args.lease_timeout, max_retries=args.max_retries,
+            timeout=args.timeout, allow_surrogate=args.surrogate_labels,
+            progress=progress)
+    except QueueError as exc:
+        print()
+        raise SystemExit(str(exc)) from exc
+    print()
+    print(_sweep_table(report, with_metrics=args.with_metrics))
+    print(f"{report.completed}/{total} completed in {report.seconds:.1f}s, "
+          f"{len(report.fits)} fit(s), "
+          f"{report.duplicate_fits} duplicate fit(s)")
+    for job_id, message in report.failures.items():
+        print(f"\nFAILED {job_id}:\n{message}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
+def _sweep_table(report, with_metrics: bool = False) -> str:
+    headers = ["model", "dataset", "profile", "seed", "status",
+               "fit_s", "gen_s"]
+    if with_metrics:
+        headers.append("mean R")
+    rows = []
+    for spec, result in zip(report.specs, report.results):
+        if result is None:
+            row = [get_entry(spec.model).display_name, spec.dataset,
+                   spec.profile, spec.seed, "FAILED", "-", "-"]
+            if with_metrics:
+                row.append("-")
+        else:
+            row = [result.model_name, spec.dataset, spec.profile, spec.seed,
+                   "done", f"{result.fit_seconds:.2f}",
+                   f"{result.generate_seconds:.2f}"]
+            if with_metrics:
+                row.append(f"{result.metrics['overall_mean']:.4f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _cmd_worker(args) -> int:
+    worker = Worker(args.queue_dir, args.cache_dir,
+                    worker_id=args.worker_id,
+                    allow_surrogate=args.surrogate_labels)
+    stats = worker.run(max_jobs=args.max_jobs, keep_alive=args.keep_alive,
+                       poll_interval=args.poll)
+    print(f"worker {worker.worker_id}: {stats['completed']} completed, "
+          f"{stats['failed']} failed, {stats['lost']} lost")
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "models": _cmd_models,
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "augment": _cmd_augment,
+    "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
 }
 
 

@@ -235,8 +235,11 @@ class FairGen(GraphGenerativeModel):
             neg_idx = rng.choice(len(neg_pool),
                                  size=min(cfg.generator_batch, len(neg_pool)),
                                  replace=False)
-            pos_ll = self.generator.log_likelihood(pos_pool[pos_idx])
-            neg_ll = self.generator.log_likelihood(neg_pool[neg_idx])
+            # One fused forward/backward over both pools instead of two:
+            # the pools share a transformer, so scoring them per-step as
+            # a single padded batch halves the network passes.
+            pos_ll, neg_ll = self.generator.log_likelihood_pair(
+                pos_pool[pos_idx], neg_pool[neg_idx])
             floor = float(pos_ll.numpy().mean()) - cfg.negative_margin
             penalty = (neg_ll - floor).relu().mean()
             loss = -pos_ll.mean() + penalty * cfg.negative_weight

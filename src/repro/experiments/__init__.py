@@ -16,13 +16,30 @@ The CLI, every benchmark and every example build models through
 A second ``run`` of an identical spec against a warm ``cache_dir``
 replays the artifact from disk and performs zero model fitting — across
 processes, not just within one.
+
+For batches, :mod:`repro.experiments.sweep` expands parameter grids
+into deduplicated spec batches and :mod:`repro.experiments.scheduler`
+drains them through a filesystem-backed fault-tolerant job queue that
+any number of worker processes — local or on other hosts sharing the
+queue/cache directories — consume cooperatively::
+
+    from repro.experiments import sweep
+
+    specs = sweep.grid(["fairgen", "taggen"], ["BLOG", "ACM"],
+                       profiles="bench", seeds=range(3))
+    report = sweep.run_sweep(specs, "/shared/queue", "/shared/cache",
+                             workers=4, with_metrics=True)
 """
 
 from ..registry import (ModelEntry, benchmark_model_names, create_model,
                         display_name, get_entry, model_names, profile_names,
                         register_model)
+from . import sweep
 from .runner import ExperimentSpec, Runner, RunResult
+from .scheduler import (Job, JobQueue, LocalWorkerPool, QueueError, Worker,
+                        run_worker)
 from .supervision import FEW_SHOT_PER_CLASS, Supervision, few_shot_labels
+from .sweep import SweepReport, run_sweep
 
 __all__ = [
     "ExperimentSpec", "Runner", "RunResult",
@@ -30,4 +47,6 @@ __all__ = [
     "ModelEntry", "register_model", "get_entry", "create_model",
     "model_names", "benchmark_model_names", "display_name",
     "profile_names",
+    "Job", "JobQueue", "QueueError", "Worker", "LocalWorkerPool",
+    "run_worker", "sweep", "SweepReport", "run_sweep",
 ]

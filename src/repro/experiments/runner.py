@@ -57,10 +57,13 @@ from .supervision import FEW_SHOT_PER_CLASS, Supervision
 __all__ = ["ExperimentSpec", "RunResult", "Runner"]
 
 #: bump when the cache layout or run semantics change incompatibly
-#: (v2: the walk engine's exact-fallback RNG consumption changed with
-#: the batched inverse-CDF draw, so v1 seeded artifacts are no longer
-#: reproducible by a cold run of the same spec)
-CACHE_FORMAT = "run-cache-v2"
+#: (v3: FairGen's generator update fuses the pos/neg log-likelihood
+#: forwards, which reassociates weight-gradient reductions — ULP-level
+#: drift that compounds over training, so v2 fairgen artifacts are no
+#: longer reproducible by a cold run of the same spec.  v2: the walk
+#: engine's exact-fallback RNG consumption changed with the batched
+#: inverse-CDF draw)
+CACHE_FORMAT = "run-cache-v3"
 
 #: sampling budget for the average-shortest-path metric in run metrics
 _ASPL_SAMPLE = 120
@@ -257,7 +260,8 @@ class Runner:
     def run_many(self, specs: Iterable[ExperimentSpec], *,
                  processes: int | None = None,
                  need_model: bool = False,
-                 with_metrics: bool = False) -> list[RunResult]:
+                 with_metrics: bool = False,
+                 scheduler=None) -> list[RunResult]:
         """Execute a batch of specs, optionally across processes.
 
         With ``processes > 1`` the independent specs are distributed over
@@ -271,8 +275,22 @@ class Runner:
         The one remaining restriction: ``need_model=True`` without a
         ``cache_dir`` has no channel to ship models home, so that
         combination runs sequentially in the parent.
+
+        ``scheduler`` switches from the in-process pool to the
+        fault-tolerant distributed queue: pass a queue directory (or a
+        :class:`~repro.experiments.scheduler.JobQueue`) shared with any
+        number of worker processes — on this host or others.  The batch
+        is submitted as jobs, ``processes`` local workers are spawned to
+        help drain it (default 2; ``processes=0`` relies entirely on
+        external ``repro worker`` fleets), and the results are replayed
+        out of the shared ``cache_dir``, which is therefore required.
         """
         specs = list(specs)
+        if scheduler is not None:
+            return self._run_scheduled(specs, scheduler,
+                                       processes=processes,
+                                       need_model=need_model,
+                                       with_metrics=with_metrics)
         parallel_ok = (processes is not None and processes > 1
                        and (not need_model or self.cache_dir is not None))
         if parallel_ok:
@@ -323,6 +341,52 @@ class Runner:
                                               with_metrics=with_metrics))
                     self._memory[spec] = result
             return [self._memory[spec] for spec in specs]
+        return [self.run(spec, need_model=need_model,
+                         with_metrics=with_metrics) for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _run_scheduled(self, specs: list[ExperimentSpec], scheduler, *,
+                       processes: int | None, need_model: bool,
+                       with_metrics: bool) -> list[RunResult]:
+        """Drain a spec batch through the distributed job queue.
+
+        Thin adapter over :func:`repro.experiments.sweep.run_sweep`:
+        submit, self-host ``processes`` local workers, wait with lease
+        recovery, then serve every result as a warm-cache replay (the
+        memory cache is pre-populated by the replay runner, so the
+        returned results carry models when ``need_model`` is set and
+        metrics when ``with_metrics`` is set, with zero fits here).
+        """
+        from .scheduler import JobQueue
+        from .sweep import run_sweep
+
+        if self.cache_dir is None:
+            raise ValueError(
+                "run_many(scheduler=...) needs a cache_dir: the shared "
+                "artifact cache is the only channel through which worker "
+                "results come home")
+        queue = (scheduler if isinstance(scheduler, JobQueue)
+                 else JobQueue(scheduler))
+        # Same guard as the process-pool path: a fitted model that can't
+        # round-trip through the cache would be fitted in a worker,
+        # thrown away, and silently refitted here — run those specs
+        # once, in the parent, and schedule only the rest.
+        remote = [spec for spec in specs
+                  if not need_model or self._model_round_trips(spec)]
+        if remote:
+            report = run_sweep(
+                remote, queue.queue_dir, self.cache_dir,
+                workers=2 if processes is None else processes,
+                need_model=need_model, with_metrics=with_metrics,
+                lease_timeout=queue.lease_timeout,
+                max_retries=queue.max_retries,
+                allow_surrogate=self.allow_surrogate,
+                few_shot_per_class=self.few_shot_per_class)
+            report.raise_on_failure()
+            # Adopt the replayed results so the order-restoring pass
+            # below (and later ``run`` calls) hit the memory cache.
+            for spec, result in zip(remote, report.results):
+                self._memory[spec] = result
         return [self.run(spec, need_model=need_model,
                          with_metrics=with_metrics) for spec in specs]
 

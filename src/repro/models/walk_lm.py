@@ -62,12 +62,54 @@ class TransformerWalkModel(Module):
         inputs = np.concatenate([start, walks[:, :-1]], axis=1)
         return inputs, walks
 
-    def log_likelihood(self, walks: np.ndarray) -> Tensor:
-        """Per-walk log-likelihood ``sum_t log g(w_t | w_<t)`` — Eq. 1."""
-        inputs, targets = self._shift(np.asarray(walks, dtype=np.int64))
+    def log_likelihood(self, walks: np.ndarray,
+                       lengths: np.ndarray | None = None) -> Tensor:
+        """Per-walk log-likelihood ``sum_t log g(w_t | w_<t)`` — Eq. 1.
+
+        ``lengths`` supports right-padded batches: positions at or past
+        a walk's length are excluded from its sum (the causal mask
+        already keeps them from influencing earlier positions).  Padded
+        slots must hold a valid node id — their value never matters.
+        """
+        walks = np.asarray(walks, dtype=np.int64)
+        inputs, targets = self._shift(walks)
         log_probs = self.forward(inputs).log_softmax(axis=-1)
         mask = F.one_hot(targets, self.num_nodes)
+        if lengths is not None:
+            valid = (np.arange(walks.shape[1])[None, :]
+                     < np.asarray(lengths, dtype=np.int64)[:, None])
+            mask = mask * valid[:, :, None]
         return (log_probs * Tensor(mask)).sum(axis=-1).sum(axis=-1)
+
+    def log_likelihood_pair(self, first: np.ndarray,
+                            second: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Log-likelihoods of two walk batches in one forward pass.
+
+        FairGen's generator update scores a positive and a negative
+        batch at every step; fusing them halves the transformer
+        forward/backward count on that path.  The shorter batch is
+        right-padded (with node 0) and masked via ``lengths``, so each
+        returned tensor matches its own :meth:`log_likelihood` call.
+        """
+        first = np.asarray(first, dtype=np.int64)
+        second = np.asarray(second, dtype=np.int64)
+        width = max(first.shape[1], second.shape[1])
+
+        def pad(walks: np.ndarray) -> np.ndarray:
+            if walks.shape[1] == width:
+                return walks
+            out = np.zeros((walks.shape[0], width), dtype=np.int64)
+            out[:, :walks.shape[1]] = walks
+            return out
+
+        lengths = None
+        if first.shape[1] != second.shape[1]:
+            lengths = np.concatenate(
+                [np.full(first.shape[0], first.shape[1], dtype=np.int64),
+                 np.full(second.shape[0], second.shape[1], dtype=np.int64)])
+        ll = self.log_likelihood(np.concatenate([pad(first), pad(second)]),
+                                 lengths=lengths)
+        return ll[:first.shape[0]], ll[first.shape[0]:]
 
     def nll(self, walks: np.ndarray) -> Tensor:
         """Mean negative log-likelihood over a batch of walks."""

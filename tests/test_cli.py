@@ -29,6 +29,28 @@ class TestParser:
             build_parser().parse_args(
                 ["augment", "--dataset", "EMAIL", "--model", "fairgen"])
 
+    def test_sweep_accumulates_axes(self):
+        args = build_parser().parse_args(
+            ["sweep", "--queue-dir", "q", "--cache-dir", "c",
+             "--model", "er", "--model", "ba", "--dataset", "EMAIL",
+             "--seed", "0", "--seed", "1", "--set", "epochs=2"])
+        assert args.model == ["er", "ba"]
+        assert args.seed == [0, 1]
+        assert args.overrides == ["epochs=2"]
+        assert args.workers == 2
+
+    def test_sweep_requires_queue_and_cache(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--model", "er", "--dataset", "EMAIL"])
+
+    def test_worker_args(self):
+        args = build_parser().parse_args(
+            ["worker", "queue", "--cache-dir", "c", "--max-jobs", "3"])
+        assert args.queue_dir == "queue"
+        assert args.max_jobs == 3
+        assert not args.keep_alive
+
 
 class TestCommands:
     def test_datasets_prints_table(self, capsys):

@@ -113,10 +113,18 @@ def test_random_walks_follow_edges(g, seed):
     from repro.graph import uniform_random_walk
 
     rng = np.random.default_rng(seed)
-    start = int(rng.integers(g.num_nodes))
-    walk = uniform_random_walk(g, start, 8, rng)
-    for a, b in zip(walk[:-1], walk[1:]):
-        assert a == b or g.has_edge(int(a), int(b))
+    engine = g.walk_engine()
+    # A batch of engine walks, validated in one vectorized adjacency
+    # query (equal consecutive nodes are lazy stalls at isolated nodes).
+    walks = engine.uniform_walks(
+        rng.integers(g.num_nodes, size=16), 8, rng)
+    a, b = walks[:, :-1].ravel(), walks[:, 1:].ravel()
+    moved = a != b
+    assert engine.has_edges(a[moved], b[moved]).all()
+    # The scalar reference walker obeys the same invariant.
+    walk = uniform_random_walk(g, int(rng.integers(g.num_nodes)), 8, rng)
+    moved = walk[:-1] != walk[1:]
+    assert engine.has_edges(walk[:-1][moved], walk[1:][moved]).all()
 
 
 @given(graphs(), st.integers(0, 50))
