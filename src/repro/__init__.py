@@ -12,6 +12,8 @@ Public API overview
 ``repro.eval``      — discrepancy (Eqs. 15/16), classification,
                       data augmentation.
 ``repro.nn``        — the NumPy autograd substrate everything trains on.
+``repro.train``     — the shared Trainer loop: callbacks, grad clipping,
+                      loss-history contract and checkpoint/resume.
 ``repro.registry``  — the model registry: every generator under a
                       canonical name with paper/bench/smoke profiles.
 ``repro.experiments`` — the spec-driven experiment API
@@ -29,9 +31,9 @@ Quickstart::
 """
 
 from . import (core, data, embedding, eval, experiments, graph, models, nn,
-               registry, utils)
+               registry, train, utils)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["core", "data", "embedding", "eval", "experiments", "graph",
-           "models", "nn", "registry", "utils", "__version__"]
+           "models", "nn", "registry", "train", "utils", "__version__"]

@@ -8,7 +8,8 @@ Commands
 ``evaluate``   overall + protected discrepancy of a fitted model
 ``augment``    run the Figure 6 data-augmentation study
 ``sweep``      submit a model×dataset×profile×seed grid to a job queue,
-               optionally self-hosting local workers
+               optionally self-hosting local workers; ``--status
+               <queue_dir>`` prints a read-only queue dashboard instead
 ``worker``     drain a sweep queue (run one per core / per host)
 
 Every model run routes through the experiment API
@@ -88,14 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     swp = sub.add_parser(
         "sweep", help="run a model/dataset/profile/seed grid through the "
-                      "distributed job queue")
-    swp.add_argument("--queue-dir", required=True,
+                      "distributed job queue (or --status to inspect one)")
+    swp.add_argument("--status", metavar="QUEUE_DIR", default=None,
+                     help="print a read-only dashboard of the queue "
+                          "(counts, lease ages, retries) and exit")
+    swp.add_argument("--queue-dir", default=None,
                      help="job-queue directory shared by every worker")
-    swp.add_argument("--cache-dir", required=True,
+    swp.add_argument("--cache-dir", default=None,
                      help="shared artifact cache where results land")
-    swp.add_argument("--model", action="append", required=True,
+    swp.add_argument("--model", action="append", default=None,
                      choices=MODEL_CHOICES, help="repeat for several models")
-    swp.add_argument("--dataset", action="append", required=True,
+    swp.add_argument("--dataset", action="append", default=None,
                      choices=dataset_names(), help="repeat for several "
                      "datasets")
     swp.add_argument("--profile", action="append", choices=profile_names(),
@@ -260,7 +264,51 @@ def _parse_override_axes(pairs: list[str]) -> dict[str, object]:
     return axes
 
 
+def _cmd_sweep_status(queue_dir: str) -> int:
+    """Read-only dashboard over a sweep queue's current state."""
+    from pathlib import Path
+
+    # Only accept a directory that already is a queue (every
+    # initialised queue carries a queue.json): constructing JobQueue on
+    # an arbitrary path would scaffold pending/claimed/... into it,
+    # silently converting a typo'd directory into a valid empty queue.
+    path = Path(queue_dir).expanduser()
+    if not path.is_dir() or not (path / "queue.json").exists():
+        raise SystemExit(f"no queue at {queue_dir}")
+    queue = JobQueue(queue_dir)
+    snapshot = queue.status()
+    counts = snapshot["counts"]
+    print(f"queue {queue.queue_dir} "
+          f"(lease timeout {queue.lease_timeout:g}s, "
+          f"max retries {queue.max_retries}):")
+    print("  " + "  ".join(f"{state}={count}"
+                           for state, count in counts.items()))
+    if not snapshot["jobs"]:
+        print("(no jobs)")
+        return 0
+    rows = []
+    for job in snapshot["jobs"]:
+        lease = ("-" if job["lease_age"] is None
+                 else f"{job['lease_age']:.1f}s")
+        rows.append([job["id"], job["state"], job["attempts"],
+                     job["retries"], job["worker"] or "-", lease,
+                     (job["note"] or "-")[:60]])
+    print(format_table(["job", "state", "attempts", "retries", "worker",
+                        "lease age", "note"], rows))
+    return 0
+
+
 def _cmd_sweep(args) -> int:
+    if args.status is not None:
+        return _cmd_sweep_status(args.status)
+    missing = [flag for flag, value in (("--queue-dir", args.queue_dir),
+                                        ("--cache-dir", args.cache_dir),
+                                        ("--model", args.model),
+                                        ("--dataset", args.dataset))
+               if not value]
+    if missing:
+        raise SystemExit("repro sweep requires " + ", ".join(missing)
+                         + " (or --status QUEUE_DIR to inspect a queue)")
     try:
         specs = sweep_api.grid(
             args.model, args.dataset,
@@ -308,6 +356,12 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(str(exc)) from exc
     print()
     print(_sweep_table(report, with_metrics=args.with_metrics))
+    if args.with_metrics:
+        board = report.scoreboard()
+        if board:
+            print()
+            print("seed-averaged scoreboard (mean +/- std):")
+            print(_scoreboard_table(board))
     print(f"{report.completed}/{total} completed in {report.seconds:.1f}s, "
           f"{len(report.fits)} fit(s), "
           f"{report.duplicate_fits} duplicate fit(s)")
@@ -336,6 +390,30 @@ def _sweep_table(report, with_metrics: bool = False) -> str:
                 row.append(f"{result.metrics['overall_mean']:.4f}")
         rows.append(row)
     return format_table(headers, rows)
+
+
+def _scoreboard_table(board: list[dict]) -> str:
+    """Render :meth:`SweepReport.scoreboard` rows as a summary table."""
+    rows = []
+    for row in board:
+        model = row["model"]
+        if row.get("overrides"):
+            # Cells split by hyperparameter overrides must stay
+            # distinguishable in the rendered table.
+            model += " {" + ", ".join(f"{k}={v}" for k, v
+                                      in row["overrides"].items()) + "}"
+        overall = f"{row['overall_mean']:.4f} +/- {row['overall_std']:.4f}"
+        if "protected_mean" in row:
+            protected = (f"{row['protected_mean']:.4f} +/- "
+                         f"{row['protected_std']:.4f}")
+            if row.get("protected_surrogate"):
+                protected += " (surrogate)"
+        else:
+            protected = "-"
+        rows.append([model, row["dataset"], row["profile"],
+                     row["seeds"], overall, protected])
+    return format_table(["model", "dataset", "profile", "seeds",
+                         "mean R", "mean R+"], rows)
 
 
 def _cmd_worker(args) -> int:

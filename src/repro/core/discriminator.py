@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import MLP, Adam, Tensor
+from ..nn import MLP, Adam, Tensor, no_grad
 from ..nn import functional as F
 from .fairness import cost_sensitive_weights, parity_loss
 
@@ -55,8 +55,17 @@ class FairDiscriminator:
         return self.mlp(x).log_softmax(axis=-1)
 
     def predict_log_proba(self) -> np.ndarray:
-        """Log-probabilities for every node, detached."""
-        return self.log_probs().numpy().copy()
+        """Log-probabilities for every node, computed grad-free.
+
+        This is pure scoring — the self-paced curriculum and the
+        pseudo-label selection consume the values, never the gradient —
+        so the forward runs under :class:`~repro.nn.no_grad`: the same
+        float operations in the same order (bit-identical output), but
+        no autograd graph is built or retained over the ``n × C``
+        full-batch pass each training cycle pays.
+        """
+        with no_grad():
+            return self.log_probs().numpy().copy()
 
     def predict_proba(self) -> np.ndarray:
         return np.exp(self.predict_log_proba())

@@ -31,13 +31,126 @@ from ..graph import Graph, sample_walks, walks_to_edge_counts
 from ..models.base import (GraphGenerativeModel, assemble_from_scores,
                            extract_state, prefix_state)
 from ..models.walk_lm import TransformerWalkModel
-from ..nn import Adam, Tensor, clip_grad_norm
+from ..nn import Adam, Tensor
+from ..train import TrainCallback, Trainer, train_step
 from .config import FairGenConfig
 from .context_sampling import ContextSampler
 from .discriminator import FairDiscriminator
 from .self_paced import SelfPacedState
 
 __all__ = ["FairGen", "make_fairgen_variant"]
+
+
+class _FairGenCycleTask:
+    """Trainer task for Algorithm 1: one epoch = one self-paced cycle.
+
+    The epoch body covers steps 4-6 (generator update from the pools,
+    then pool refresh); steps 7-11 — the curriculum and discriminator
+    phase — live in the :class:`SelfPacedCurriculum` callback, which
+    runs in ``on_epoch_end`` so its work is covered by the cycle's
+    checkpoint.  The task also owns everything a mid-fit checkpoint has
+    to carry beyond module parameters: the walk pools, the self-paced
+    vectors/threshold, and the (pseudo-)augmented labeled set currently
+    installed in the context sampler.
+    """
+
+    def __init__(self, owner: "FairGen", gen_opt: Adam,
+                 labeled_nodes: np.ndarray, labeled_classes: np.ndarray,
+                 pos_pool: np.ndarray, neg_pool: np.ndarray):
+        self.owner = owner
+        self.gen_opt = gen_opt
+        self.labeled_nodes = labeled_nodes
+        self.labeled_classes = labeled_classes
+        self.pos_pool = pos_pool
+        self.neg_pool = neg_pool
+        #: labels currently driving ``f_S`` (ground truth + pseudo)
+        self.aug_nodes = labeled_nodes
+        self.aug_classes = labeled_classes
+
+    # -- checkpoint contract -------------------------------------------
+    def modules(self):
+        return {"generator": self.owner.generator,
+                "discriminator": self.owner.discriminator.mlp}
+
+    def optimizers(self):
+        return {"generator": self.gen_opt,
+                "discriminator": self.owner.discriminator.optimizer}
+
+    def extra_state(self):
+        sp = self.owner.self_paced
+        return {"pos_pool": self.pos_pool, "neg_pool": self.neg_pool,
+                "sp_v": sp.v, "sp_lambda": np.array([sp.lambda_value]),
+                "aug_nodes": self.aug_nodes, "aug_classes": self.aug_classes}
+
+    def load_extra_state(self, extra) -> None:
+        sp = self.owner.self_paced
+        self.pos_pool = np.asarray(extra["pos_pool"], dtype=np.int64)
+        self.neg_pool = np.asarray(extra["neg_pool"], dtype=np.int64)
+        sp.v = np.asarray(extra["sp_v"], dtype=np.int8).copy()
+        sp.lambda_value = float(extra["sp_lambda"][0])
+        self.aug_nodes = np.asarray(extra["aug_nodes"], dtype=np.int64)
+        self.aug_classes = np.asarray(extra["aug_classes"], dtype=np.int64)
+        self.owner.sampler.update_labels(self.aug_nodes, self.aug_classes)
+
+    # -- epoch body: Algorithm 1 steps 4-6 ------------------------------
+    def epoch(self, state, rng) -> dict[str, float]:
+        owner, cfg = self.owner, self.owner.config
+        gen_loss = owner._train_generator(self.gen_opt, self.pos_pool,
+                                          self.neg_pool, rng)
+        self.pos_pool = owner._cap_pool(np.concatenate(
+            [self.pos_pool, owner.sampler.sample(cfg.walks_per_cycle, rng)]))
+        generated = owner.generator.sample(cfg.walks_per_cycle,
+                                           cfg.walk_length, rng)
+        self.neg_pool = owner._cap_pool(
+            np.concatenate([self.neg_pool, generated]))
+        return {"cycle": float(state.epoch), "generator_loss": gen_loss}
+
+
+class SelfPacedCurriculum(TrainCallback):
+    """Algorithm 1 steps 7-11 as a Trainer callback.
+
+    Runs after each cycle's generator phase: grows ``lambda``, re-solves
+    the self-paced vectors, harvests confident pseudo labels and takes
+    ``T1`` discriminator steps.  One *grad-free* scoring pass
+    (:meth:`FairDiscriminator.predict_log_proba`) is shared by the Eq. 14
+    vector update and the pseudo-label selection — the full-batch
+    forward over all ``n`` nodes happens once per cycle, with no
+    autograd graph built.
+    """
+
+    def __init__(self, task: _FairGenCycleTask):
+        self.task = task
+
+    def on_epoch_end(self, trainer, state, record) -> None:
+        task, owner = self.task, self.task.owner
+        cfg, rng = owner.config, trainer.rng
+        num_pseudo = 0
+        if cfg.use_self_paced:
+            owner.self_paced.augment_lambda()
+            log_probs = owner.discriminator.predict_log_proba()
+            owner.self_paced.update(
+                log_probs,
+                max_per_class=cfg.pseudo_label_cap * (state.epoch + 1))
+            aug_nodes, aug_classes = owner.self_paced.pseudo_labels(log_probs)
+            num_pseudo = aug_nodes.size - task.labeled_nodes.size
+            owner.sampler.update_labels(aug_nodes, aug_classes)
+            task.aug_nodes, task.aug_classes = aug_nodes, aug_classes
+        else:
+            aug_nodes, aug_classes = task.labeled_nodes, task.labeled_classes
+
+        sp_nodes, sp_classes = owner.self_paced.selected_pairs()
+        last_disc: dict[str, float] = {}
+        for _ in range(cfg.batch_iterations):
+            take = min(cfg.batch_size, aug_nodes.size)
+            idx = rng.choice(aug_nodes.size, size=take, replace=False)
+            last_disc = owner.discriminator.train_step(
+                aug_nodes[idx], aug_classes[idx], sp_nodes, sp_classes)
+
+        record.update({
+            "lambda": owner.self_paced.lambda_value,
+            "num_pseudo_labels": float(num_pseudo),
+            **{f"disc_{k}": v for k, v in last_disc.items()},
+        })
 
 
 class FairGen(GraphGenerativeModel):
@@ -167,50 +280,17 @@ class FairGen(GraphGenerativeModel):
         pos_pool = self.sampler.sample(cfg.walks_per_cycle, rng)
         neg_pool = sample_walks(graph, cfg.walks_per_cycle,
                                 cfg.walk_length, rng)
-        self.history = []
 
+        # Steps 3-11 run through the shared Trainer: the task's epoch is
+        # the generator phase (steps 4-6), the curriculum callback the
+        # self-paced + discriminator phase (steps 7-11).
         cycles = cfg.self_paced_cycles if cfg.use_self_paced else 1
-        for cycle in range(cycles):
-            # Step 4: update g_theta from N+ and N-.
-            gen_loss = self._train_generator(gen_opt, pos_pool, neg_pool, rng)
-
-            # Steps 5-6: refresh the pools.
-            pos_pool = self._cap_pool(np.concatenate(
-                [pos_pool, self.sampler.sample(cfg.walks_per_cycle, rng)]))
-            generated = self.generator.sample(cfg.walks_per_cycle,
-                                              cfg.walk_length, rng)
-            neg_pool = self._cap_pool(np.concatenate([neg_pool, generated]))
-
-            # Steps 7-8: lambda schedule + self-paced vector update.
-            num_pseudo = 0
-            if cfg.use_self_paced:
-                self.self_paced.augment_lambda()
-                log_probs = self.discriminator.predict_log_proba()
-                self.self_paced.update(
-                    log_probs,
-                    max_per_class=cfg.pseudo_label_cap * (cycle + 1))
-                aug_nodes, aug_classes = self.self_paced.pseudo_labels(log_probs)
-                num_pseudo = aug_nodes.size - labeled_nodes.size
-                self.sampler.update_labels(aug_nodes, aug_classes)
-            else:
-                aug_nodes, aug_classes = labeled_nodes, labeled_classes
-
-            # Steps 9-11: T1 discriminator updates on J_P + J_L + J_F.
-            sp_nodes, sp_classes = self.self_paced.selected_pairs()
-            last_disc: dict[str, float] = {}
-            for _ in range(cfg.batch_iterations):
-                take = min(cfg.batch_size, aug_nodes.size)
-                idx = rng.choice(aug_nodes.size, size=take, replace=False)
-                last_disc = self.discriminator.train_step(
-                    aug_nodes[idx], aug_classes[idx], sp_nodes, sp_classes)
-
-            self.history.append({
-                "cycle": float(cycle),
-                "generator_loss": gen_loss,
-                "lambda": self.self_paced.lambda_value,
-                "num_pseudo_labels": float(num_pseudo),
-                **{f"disc_{k}": v for k, v in last_disc.items()},
-            })
+        task = _FairGenCycleTask(self, gen_opt, labeled_nodes,
+                                 labeled_classes, pos_pool, neg_pool)
+        state = Trainer(task, epochs=cycles,
+                        callbacks=[SelfPacedCurriculum(task)],
+                        control=self.train_control).fit(rng)
+        self.history = list(state.history)
         return self
 
     # ------------------------------------------------------------------
@@ -224,11 +304,14 @@ class FairGen(GraphGenerativeModel):
         walks while pushing its own previous generations at least
         ``negative_margin`` nats below the positives (only walks that
         violate the margin contribute, which keeps the loss bounded).
+        The walk-LM update runs as shared :func:`~repro.train.train_step`
+        steps — batch draws live inside the loss closure, so RNG
+        consumption matches the legacy loop exactly.
         """
         cfg = self.config
-        losses = []
-        for _ in range(cfg.generator_steps_per_cycle):
-            optimizer.zero_grad()
+        params = list(self.generator.parameters())
+
+        def step_loss() -> Tensor:
             pos_idx = rng.choice(len(pos_pool),
                                  size=min(cfg.generator_batch, len(pos_pool)),
                                  replace=False)
@@ -242,11 +325,10 @@ class FairGen(GraphGenerativeModel):
                 pos_pool[pos_idx], neg_pool[neg_idx])
             floor = float(pos_ll.numpy().mean()) - cfg.negative_margin
             penalty = (neg_ll - floor).relu().mean()
-            loss = -pos_ll.mean() + penalty * cfg.negative_weight
-            loss.backward()
-            clip_grad_norm(self.generator.parameters(), 5.0)
-            optimizer.step()
-            losses.append(loss.item())
+            return -pos_ll.mean() + penalty * cfg.negative_weight
+
+        losses = [train_step(optimizer, params, step_loss, clip_norm=5.0)
+                  for _ in range(cfg.generator_steps_per_cycle)]
         return float(np.mean(losses))
 
     def _cap_pool(self, pool: np.ndarray) -> np.ndarray:

@@ -29,6 +29,19 @@ Two layers:
   survives across processes and makes a second ``run`` of the same spec
   perform **zero model fitting** — including ``need_model=True`` runs,
   which replay the fitted model from the archive instead of refitting.
+
+Checkpoint / resume
+-------------------
+While a fit is *running*, its Trainer-backed training state checkpoints
+into the same cache as ``<key>.ckpt.npz`` (at most every
+``checkpoint_interval`` seconds; see :mod:`repro.train`).  A later
+``run`` of the same spec that misses the artifact cache but finds a
+checkpoint resumes the fit from its last completed epoch instead of
+refitting from scratch — and because the checkpoint carries the exact
+RNG state, the resumed run's artifacts are byte-identical to an
+uninterrupted one.  The checkpoint is deleted once the finished
+artifacts land, and it is stamped with the resolved parameters, so a
+profile change invalidates it just like the artifact cache.
 """
 
 from __future__ import annotations
@@ -181,15 +194,24 @@ class Runner:
         ``False``, such specs raise ``ValueError``.
     few_shot_per_class:
         Size of the few-shot labeled set revealed to label-aware models.
+    checkpoint_interval:
+        Minimum seconds between mid-fit ``<key>.ckpt.npz`` checkpoint
+        writes (requires a ``cache_dir``).  ``0`` checkpoints after
+        every training epoch; fits shorter than the interval never pay
+        any checkpoint I/O.  The scheduler's Worker sets its heartbeat
+        interval here so a SIGKILLed fit resumes losing at most one
+        lease period of work.
     """
 
     def __init__(self, cache_dir: str | os.PathLike | None = None,
                  allow_surrogate: bool = True,
-                 few_shot_per_class: int = FEW_SHOT_PER_CLASS):
+                 few_shot_per_class: int = FEW_SHOT_PER_CLASS,
+                 checkpoint_interval: float = 30.0):
         self.cache_dir = (Path(cache_dir).expanduser()
                           if cache_dir is not None else None)
         self.allow_surrogate = allow_surrogate
         self.few_shot_per_class = few_shot_per_class
+        self.checkpoint_interval = float(checkpoint_interval)
         self._memory: dict[ExperimentSpec, RunResult] = {}
         self._datasets: dict[str, object] = {}
 
@@ -328,8 +350,8 @@ class Runner:
                     fresh = list(pool.map(
                         _run_in_worker,
                         [(cache, self.allow_surrogate,
-                          self.few_shot_per_class, spec, with_metrics,
-                          need_model)
+                          self.few_shot_per_class, self.checkpoint_interval,
+                          spec, with_metrics, need_model)
                          for spec in pending]))
                 for spec, result in zip(pending, fresh):
                     if need_model:
@@ -404,6 +426,7 @@ class Runner:
         entry = get_entry(spec.model)
         data = self.dataset(spec.dataset)
         model = entry.build(spec.profile, spec.override_dict)
+        self._install_train_control(spec, model)
         rng = spec.rng(stream=0)
 
         start = time.perf_counter()
@@ -473,6 +496,32 @@ class Runner:
         return (self.cache_dir / f"{key}.npz",
                 self.cache_dir / f"{key}.json",
                 self.cache_dir / f"{key}.model.npz")
+
+    def checkpoint_path(self, spec: ExperimentSpec) -> Path | None:
+        """Where ``spec``'s mid-fit training checkpoint lives (if any)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.cache_key()}.ckpt.npz"
+
+    def _install_train_control(self, spec: ExperimentSpec, model) -> None:
+        """Arm a fit with checkpoint/resume through the artifact cache.
+
+        Trainer-backed models pick the control up inside ``fit``; models
+        without a training loop (ER, BA) simply never read it.  The
+        control's tag is the Runner's resolved-parameter stamp, so a
+        checkpoint written under different hyperparameters or
+        supervision settings is ignored, exactly like a stale cache
+        entry.
+        """
+        if self.cache_dir is None:
+            return
+        from ..train import TrainControl
+
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        model.train_control = TrainControl(
+            checkpoint_path=self.checkpoint_path(spec),
+            min_save_interval=self.checkpoint_interval,
+            tag=self._stamp(spec))
 
     def _ensure_metrics(self, spec: ExperimentSpec,
                         result: RunResult) -> None:
@@ -544,6 +593,8 @@ class Runner:
             # graph-only caching (need_model then refits as before).
             save_model(result.model, model_path)
         self._write_metadata(spec, result)
+        # The finished artifacts supersede any mid-fit checkpoint.
+        self.checkpoint_path(spec).unlink(missing_ok=True)
 
     def _write_metadata(self, spec: ExperimentSpec,
                         result: RunResult) -> None:
@@ -569,10 +620,11 @@ class Runner:
 
 def _run_in_worker(payload) -> RunResult:
     """Top-level ``run_many`` worker (must be picklable)."""
-    (cache_dir, allow_surrogate, few_shot, spec, with_metrics,
-     need_model) = payload
+    (cache_dir, allow_surrogate, few_shot, checkpoint_interval, spec,
+     with_metrics, need_model) = payload
     runner = Runner(cache_dir=cache_dir, allow_surrogate=allow_surrogate,
-                    few_shot_per_class=few_shot)
+                    few_shot_per_class=few_shot,
+                    checkpoint_interval=checkpoint_interval)
     result = runner.run(spec, with_metrics=with_metrics,
                         need_model=need_model)
     # Fitted models hold autograd state; keep the payload lean and

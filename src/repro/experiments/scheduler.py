@@ -419,6 +419,53 @@ class JobQueue:
         """Number of jobs per state."""
         return {state: len(self._job_ids(state)) for state in _STATES}
 
+    def status(self) -> dict:
+        """Read-only dashboard snapshot: state counts + per-job detail.
+
+        Performs no recovery and no writes, so it is safe to point at a
+        live queue from any host (``repro sweep --status <queue_dir>``).
+        Each job row carries its state, attempt/retry counters, the
+        owning worker and lease age for claimed jobs (flagged when the
+        lease has already expired), and the failure's final line for
+        terminally failed jobs.  Lease ages use this host's clock — the
+        same loose-synchronisation assumption the lease protocol itself
+        makes.
+        """
+        now = time.time()
+        jobs: list[dict] = []
+        for state in _STATES:
+            for job_id in self._job_ids(state):
+                payload = self._read_json(self._path(state, job_id)) or {}
+                entry = {"id": job_id, "state": state,
+                         "attempts": int(payload.get("attempts", 0)),
+                         "retries": len(payload.get("errors", [])),
+                         "worker": None, "lease_age": None, "note": ""}
+                if state == "claimed":
+                    lease = self._read_json(
+                        self.queue_dir / "leases" / f"{job_id}.json")
+                    if lease is not None:
+                        entry["worker"] = lease.get("worker")
+                        entry["lease_age"] = max(
+                            0.0, now - float(lease.get("heartbeat_at", now)))
+                        if entry["lease_age"] > self.lease_timeout:
+                            entry["note"] = "lease expired"
+                    else:
+                        entry["note"] = "no lease yet"
+                elif state == "done":
+                    entry["worker"] = payload.get("worker")
+                elif state == "failed":
+                    failure = str(payload.get("failure", "")).strip()
+                    if failure:
+                        entry["note"] = failure.splitlines()[-1]
+                jobs.append(entry)
+        # Counts derive from the rows just collected (not a second
+        # directory scan), so one snapshot can never disagree with
+        # itself while jobs move between states under it.
+        counts = {state: 0 for state in _STATES}
+        for job in jobs:
+            counts[job["state"]] += 1
+        return {"counts": counts, "jobs": jobs}
+
     def drained(self) -> bool:
         """True when no job is pending or claimed (done/failed only)."""
         return not self._job_ids("pending") and not self._job_ids("claimed")
@@ -508,9 +555,14 @@ class Worker:
         if heartbeat_interval is None:
             heartbeat_interval = max(self.queue.lease_timeout / 4.0, 0.05)
         self.heartbeat_interval = heartbeat_interval
+        # Checkpoint on the heartbeat cadence: a worker that dies mid-fit
+        # leaves a <key>.ckpt.npz in the shared cache at most one
+        # heartbeat old, so whoever re-claims the job after lease expiry
+        # resumes the fit from there instead of refitting from scratch.
         self.runner = Runner(cache_dir=cache_dir,
                              allow_surrogate=allow_surrogate,
-                             few_shot_per_class=few_shot_per_class)
+                             few_shot_per_class=few_shot_per_class,
+                             checkpoint_interval=heartbeat_interval)
 
     # ------------------------------------------------------------------
     def run(self, *, max_jobs: int | None = None, keep_alive: bool = False,

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Callable, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ..registry import get_entry
 from .runner import ExperimentSpec, Runner, RunResult
 from .scheduler import JobQueue, LocalWorkerPool, QueueError
@@ -162,6 +164,55 @@ class SweepReport:
             raise QueueError(f"{len(self.failures)} sweep job(s) failed "
                              f"terminally:\n{detail}")
         return self
+
+    def scoreboard(self) -> list[dict]:
+        """Seed-averaged metrics per model × dataset × profile cell.
+
+        Aggregates ``overall_mean`` — and ``protected_mean`` where the
+        runs carry it — across every completed seed of each
+        (model, dataset, profile) cell into ``mean ± std`` rows::
+
+            {"model": "FairGen", "dataset": "BLOG", "profile": "bench",
+             "seeds": 3, "overall_mean": ..., "overall_std": ...,
+             "protected_mean": ..., "protected_std": ...,
+             "protected_surrogate": False}
+
+        Results without metrics (the sweep ran without
+        ``with_metrics=True``) and failed jobs are skipped; the std is
+        the population std over seeds (0.0 for a single seed).  Specs
+        that differ in hyperparameter overrides form *separate* cells —
+        a sweep with an override axis must never average across
+        configurations and call it seed variance — with the cell's
+        overrides echoed in the row.  Rows come back sorted by
+        (model, dataset, profile, overrides) — the shape the
+        ``repro sweep`` summary table prints directly.
+        """
+        groups: dict[tuple, list[RunResult]] = {}
+        for spec, result in zip(self.specs, self.results):
+            if result is None or not result.metrics:
+                continue
+            key = (spec.model, spec.dataset, spec.profile, spec.overrides)
+            groups.setdefault(key, []).append(result)
+        rows: list[dict] = []
+        ordered = sorted(groups.items(),
+                         key=lambda kv: (*kv[0][:3], repr(kv[0][3])))
+        for (model, dataset, profile, overrides), results in ordered:
+            overall = [r.metrics["overall_mean"] for r in results]
+            row: dict = {"model": get_entry(model).display_name,
+                         "dataset": dataset, "profile": profile,
+                         "overrides": dict(overrides),
+                         "seeds": len(results),
+                         "overall_mean": float(np.mean(overall)),
+                         "overall_std": float(np.std(overall))}
+            protected = [r.metrics["protected_mean"] for r in results
+                         if "protected_mean" in r.metrics]
+            if protected:
+                row["protected_mean"] = float(np.mean(protected))
+                row["protected_std"] = float(np.std(protected))
+                row["protected_surrogate"] = any(
+                    r.metrics.get("protected_surrogate") for r in results)
+            rows.append(row)
+        return rows
 
 
 def run_sweep(specs: Iterable[ExperimentSpec],

@@ -69,6 +69,13 @@ class GraphGenerativeModel(abc.ABC):
     #: human-readable name used in benchmark tables
     name: str = "base"
 
+    #: optional :class:`repro.train.TrainControl` installed by the
+    #: experiment Runner before ``fit``.  Trainer-backed models pass it
+    #: through to their :class:`repro.train.Trainer`, which gives the
+    #: fit checkpoint/resume semantics (``<key>.ckpt.npz`` in the
+    #: artifact cache); models without a training loop ignore it.
+    train_control = None
+
     def __init__(self) -> None:
         self._fitted_graph: Graph | None = None
 

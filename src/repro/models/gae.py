@@ -14,6 +14,7 @@ import scipy.sparse as sp
 
 from ..graph import Graph
 from ..nn import Adam, Linear, Module, Tensor
+from ..train import Trainer, train_step
 from .base import (GraphGenerativeModel, assemble_from_scores, extract_state,
                    prefix_state)
 
@@ -42,6 +43,43 @@ class _GCNEncoder(Module):
     def forward(self, a_hat: Tensor, x: Tensor) -> tuple[Tensor, Tensor]:
         h = (a_hat @ self.lin1(x)).relu()
         return a_hat @ self.lin_mu(h), a_hat @ self.lin_logvar(h)
+
+
+class _GAETask:
+    """Trainer task: one epoch = one full-batch VGAE ELBO step."""
+
+    def __init__(self, encoder: _GCNEncoder, a_hat: Tensor, features: Tensor,
+                 target: Tensor, weight_mask: Tensor, norm: float, n: int,
+                 lr: float):
+        self.encoder = encoder
+        self.a_hat = a_hat
+        self.features = features
+        self.target = target
+        self.weight_mask = weight_mask
+        self.norm = norm
+        self.n = n
+        self.optimizer = Adam(encoder.parameters(), lr=lr)
+
+    def modules(self):
+        return {"encoder": self.encoder}
+
+    def optimizers(self):
+        return {"adam": self.optimizer}
+
+    def _loss(self, rng) -> Tensor:
+        mu, logvar = self.encoder(self.a_hat, self.features)
+        noise = Tensor(rng.standard_normal(mu.shape))
+        z = mu + (logvar * 0.5).exp() * noise
+        logits = z @ z.T
+        # Stable weighted BCE-with-logits, elementwise.
+        bce = (logits.relu() - logits * self.target
+               + ((-logits.abs()).exp() + 1.0).log()) * self.weight_mask
+        recon = bce.mean() * self.norm
+        kl = ((logvar.exp() + mu * mu - logvar - 1.0).sum() * (0.5 / self.n))
+        return recon + kl * (1.0 / self.n)
+
+    def epoch(self, state, rng) -> float:
+        return train_step(self.optimizer, None, lambda: self._loss(rng))
 
 
 class GAEModel(GraphGenerativeModel):
@@ -78,28 +116,17 @@ class GAEModel(GraphGenerativeModel):
         norm = n * n / max(2.0 * (n * n - num_pos), 1.0)
 
         encoder = _GCNEncoder(n, self.hidden, self.latent, rng)
-        optimizer = Adam(encoder.parameters(), lr=self.lr)
-        self.loss_history = []
+        task = _GAETask(encoder, a_hat, features,
+                        target=Tensor(adj_label),
+                        weight_mask=Tensor(np.where(adj_label > 0,
+                                                    pos_weight, 1.0)),
+                        norm=norm, n=n, lr=self.lr)
+        state = Trainer(task, epochs=self.epochs,
+                        control=self.train_control).fit(rng)
+        self.loss_history = list(state.history)
 
-        weight_mask = Tensor(np.where(adj_label > 0, pos_weight, 1.0))
-        target = Tensor(adj_label)
-        for _ in range(self.epochs):
-            optimizer.zero_grad()
-            mu, logvar = encoder(a_hat, features)
-            noise = Tensor(rng.standard_normal(mu.shape))
-            z = mu + (logvar * 0.5).exp() * noise
-            logits = z @ z.T
-            # Stable weighted BCE-with-logits, elementwise.
-            bce = (logits.relu() - logits * target
-                   + ((-logits.abs()).exp() + 1.0).log()) * weight_mask
-            recon = bce.mean() * norm
-            kl = ((logvar.exp() + mu * mu - logvar - 1.0).sum() * (0.5 / n))
-            loss = recon + kl * (1.0 / n)
-            loss.backward()
-            optimizer.step()
-            self.loss_history.append(loss.item())
-
-        mu, _ = encoder(a_hat, features)
+        # Posterior means for generation — pure scoring, no graph.
+        mu, _ = encoder.eval_forward(a_hat, features)
         self._encoder = encoder
         self._z_mean = mu.numpy().copy()
         return self

@@ -16,9 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph
-from ..nn import Adam, LSTMCell, Linear, MLP, Module, Tensor, \
-    clip_grad_norm, no_grad
+from ..nn import Adam, LSTMCell, Linear, MLP, Module, Tensor, no_grad
 from ..nn import functional as F
+from ..train import Trainer, train_step
 from .base import GraphGenerativeModel, extract_state, prefix_state
 
 __all__ = ["GraphRNN", "bfs_adjacency_sequences", "estimate_bandwidth"]
@@ -86,6 +86,37 @@ def bfs_adjacency_sequences(graph: Graph, bandwidth: int,
     return sequences
 
 
+class _GraphRNNTask:
+    """Trainer task: one epoch = fresh BFS sequences, one step each."""
+
+    def __init__(self, owner: "GraphRNN", graph: Graph):
+        self.owner = owner
+        self.graph = graph
+        self.params = (list(owner.cell.parameters())
+                       + list(owner.input_proj.parameters())
+                       + list(owner.edge_decoder.parameters()))
+        self.optimizer = Adam(self.params, lr=owner.lr)
+
+    def modules(self):
+        owner = self.owner
+        return {"cell": owner.cell, "input_proj": owner.input_proj,
+                "edge_decoder": owner.edge_decoder}
+
+    def optimizers(self):
+        return {"adam": self.optimizer}
+
+    def epoch(self, state, rng) -> float:
+        owner = self.owner
+        sequences = bfs_adjacency_sequences(
+            self.graph, owner.bandwidth, rng,
+            count=owner.sequences_per_epoch)
+        losses = [train_step(self.optimizer, self.params,
+                             lambda seq=sequence: owner._step_likelihood(seq),
+                             clip_norm=5.0)
+                  for sequence in sequences]
+        return float(np.mean(losses))
+
+
 class GraphRNN(GraphGenerativeModel):
     """GraphRNN-S: graph-level LSTM + MLP edge decoder over BFS sequences."""
 
@@ -135,23 +166,9 @@ class GraphRNN(GraphGenerativeModel):
         self.input_proj = Linear(self.bandwidth, self.hidden_dim, rng)
         self.edge_decoder = MLP([self.hidden_dim, self.hidden_dim,
                                  self.bandwidth], rng)
-        params = (list(self.cell.parameters())
-                  + list(self.input_proj.parameters())
-                  + list(self.edge_decoder.parameters()))
-        optimizer = Adam(params, lr=self.lr)
-        self.loss_history = []
-        for _ in range(self.epochs):
-            sequences = bfs_adjacency_sequences(
-                graph, self.bandwidth, rng, count=self.sequences_per_epoch)
-            epoch_losses = []
-            for sequence in sequences:
-                optimizer.zero_grad()
-                loss = self._step_likelihood(sequence)
-                loss.backward()
-                clip_grad_norm(params, 5.0)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            self.loss_history.append(float(np.mean(epoch_losses)))
+        state = Trainer(_GraphRNNTask(self, graph), epochs=self.epochs,
+                        control=self.train_control).fit(rng)
+        self.loss_history = list(state.history)
         return self
 
     # -- persistence ----------------------------------------------------

@@ -17,7 +17,8 @@ import numpy as np
 
 from ..graph import Graph, sample_walks, walks_to_edge_counts
 from ..nn import (Adam, Embedding, LSTMCell, Linear, Module, Tensor,
-                  clip_grad_norm, no_grad)
+                  no_grad)
+from ..train import Trainer, train_step
 from .base import (GraphGenerativeModel, assemble_from_scores, extract_state,
                    prefix_state, propose_edges_from_walk_counts)
 
@@ -94,6 +95,54 @@ class NetGANCritic(Module):
             np.clip(p.data, -bound, bound, out=p.data)
 
 
+class _NetGANTask:
+    """Trainer task: one epoch = ``critic_steps`` critic updates + one
+    generator update (the WGAN iteration); the record is the last
+    critic loss, matching the legacy ``critic_history`` entries."""
+
+    def __init__(self, owner: "NetGAN", graph: Graph):
+        self.owner = owner
+        self.graph = graph
+        self.critic_params = list(owner.critic.parameters())
+        self.generator_params = list(owner.generator.parameters())
+
+    def modules(self):
+        return {"generator": self.owner.generator,
+                "critic": self.owner.critic}
+
+    def optimizers(self):
+        return {"generator": self.owner._g_opt,
+                "critic": self.owner._c_opt}
+
+    def _critic_loss(self, rng) -> Tensor:
+        """Wasserstein critic objective ``E[fake] - E[real]``."""
+        owner = self.owner
+        real = owner._real_batch(self.graph, rng)
+        z = rng.standard_normal((owner.batch_size, owner.latent_dim))
+        with no_grad():
+            fake_soft, _ = owner.generator.rollout(z, owner.walk_length, rng)
+        return (owner.critic(Tensor(fake_soft.numpy())).mean()
+                - owner.critic(real).mean())
+
+    def _generator_loss(self, rng) -> Tensor:
+        """Maximise the critic's score of fresh fakes."""
+        owner = self.owner
+        z = rng.standard_normal((owner.batch_size, owner.latent_dim))
+        fake_soft, _ = owner.generator.rollout(z, owner.walk_length, rng)
+        return -owner.critic(fake_soft).mean()
+
+    def epoch(self, state, rng) -> float:
+        owner = self.owner
+        for _ in range(owner.critic_steps):
+            loss_c = train_step(owner._c_opt, self.critic_params,
+                                lambda: self._critic_loss(rng),
+                                clip_norm=5.0)
+            owner.critic.clip_weights(owner.clip)
+        train_step(owner._g_opt, self.generator_params,
+                   lambda: self._generator_loss(rng), clip_norm=5.0)
+        return loss_c
+
+
 class NetGAN(GraphGenerativeModel):
     """WGAN over walks; ``iterations`` controls Figure-1-style training."""
 
@@ -105,6 +154,9 @@ class NetGAN(GraphGenerativeModel):
                  critic_steps: int = 2, lr: float = 1e-3,
                  clip: float = 0.05, generation_walk_factor: int = 20):
         super().__init__()
+        if critic_steps < 1:
+            raise ValueError("critic_steps must be >= 1 (the WGAN "
+                             "iteration needs at least one critic update)")
         self.walk_length = walk_length
         self.iterations = iterations
         self.batch_size = batch_size
@@ -138,7 +190,11 @@ class NetGAN(GraphGenerativeModel):
         self._g_opt = Adam(self.generator.parameters(), lr=self.lr)
         self._c_opt = Adam(self.critic.parameters(), lr=self.lr)
         self.critic_history = []
-        self._train(graph, rng, self.iterations)
+        # Only the front-door fit participates in checkpoint/resume;
+        # continue_training extends live parameters past the spec'd
+        # schedule, which a checkpoint must not capture as "the fit".
+        self._train(graph, rng, self.iterations,
+                    control=self.train_control)
         return self
 
     def continue_training(self, rng: np.random.Generator,
@@ -153,33 +209,10 @@ class NetGAN(GraphGenerativeModel):
         return self
 
     def _train(self, graph: Graph, rng: np.random.Generator,
-               iterations: int) -> None:
-        g_opt, c_opt = self._g_opt, self._c_opt
-        for _ in range(iterations):
-            # -- critic updates (maximise real - fake) --
-            for _ in range(self.critic_steps):
-                c_opt.zero_grad()
-                real = self._real_batch(graph, rng)
-                z = rng.standard_normal((self.batch_size, self.latent_dim))
-                with no_grad():
-                    fake_soft, _ = self.generator.rollout(
-                        z, self.walk_length, rng)
-                loss_c = self.critic(Tensor(fake_soft.numpy())).mean() \
-                    - self.critic(real).mean()
-                loss_c.backward()
-                clip_grad_norm(self.critic.parameters(), 5.0)
-                c_opt.step()
-                self.critic.clip_weights(self.clip)
-            self.critic_history.append(loss_c.item())
-
-            # -- generator update (maximise critic score of fakes) --
-            g_opt.zero_grad()
-            z = rng.standard_normal((self.batch_size, self.latent_dim))
-            fake_soft, _ = self.generator.rollout(z, self.walk_length, rng)
-            loss_g = -self.critic(fake_soft).mean()
-            loss_g.backward()
-            clip_grad_norm(self.generator.parameters(), 5.0)
-            g_opt.step()
+               iterations: int, control=None) -> None:
+        state = Trainer(_NetGANTask(self, graph), epochs=iterations,
+                        control=control).fit(rng)
+        self.critic_history.extend(state.history)
 
     # -- persistence ----------------------------------------------------
     def config_dict(self) -> dict:

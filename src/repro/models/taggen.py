@@ -13,12 +13,39 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph, sample_walks, walks_to_edge_counts
-from ..nn import Adam, clip_grad_norm
+from ..nn import Adam
+from ..train import Trainer, minibatches, train_step
 from .base import (GraphGenerativeModel, assemble_from_scores, extract_state,
                    prefix_state, propose_edges_from_walk_counts)
 from .walk_lm import TransformerWalkModel
 
 __all__ = ["TagGen"]
+
+
+class _TagGenTask:
+    """Trainer task: one epoch = a fresh walk corpus, minibatched MLE."""
+
+    def __init__(self, owner: "TagGen", graph: Graph):
+        self.owner = owner
+        self.graph = graph
+        self.params = list(owner.model.parameters())
+        self.optimizer = Adam(owner.model.parameters(), lr=owner.lr)
+
+    def modules(self):
+        return {"model": self.owner.model}
+
+    def optimizers(self):
+        return {"adam": self.optimizer}
+
+    def epoch(self, state, rng) -> float:
+        owner = self.owner
+        walks = sample_walks(self.graph, owner.walks_per_epoch,
+                             owner.walk_length, rng)
+        losses = [train_step(self.optimizer, self.params,
+                             lambda batch=walks[sl]: owner.model.nll(batch),
+                             clip_norm=5.0)
+                  for sl in minibatches(len(walks), owner.batch_size)]
+        return float(np.mean(losses))
 
 
 class TagGen(GraphGenerativeModel):
@@ -49,21 +76,9 @@ class TagGen(GraphGenerativeModel):
         self.model = TransformerWalkModel(graph.num_nodes, self.dim,
                                           self.num_heads, self.num_layers,
                                           self.walk_length, rng)
-        optimizer = Adam(self.model.parameters(), lr=self.lr)
-        self.loss_history = []
-        for _ in range(self.epochs):
-            walks = sample_walks(graph, self.walks_per_epoch,
-                                 self.walk_length, rng)
-            epoch_losses = []
-            for lo in range(0, len(walks), self.batch_size):
-                batch = walks[lo: lo + self.batch_size]
-                optimizer.zero_grad()
-                loss = self.model.nll(batch)
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), 5.0)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            self.loss_history.append(float(np.mean(epoch_losses)))
+        state = Trainer(_TagGenTask(self, graph), epochs=self.epochs,
+                        control=self.train_control).fit(rng)
+        self.loss_history = list(state.history)
         return self
 
     # -- persistence ----------------------------------------------------

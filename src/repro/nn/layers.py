@@ -111,6 +111,21 @@ class Module:
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
+    def eval_forward(self, *args, **kwargs):
+        """Forward pass under :class:`~repro.nn.no_grad` — pure scoring.
+
+        Produces the same values as :meth:`forward` but records no
+        computation graph: no parent tuples, no backward closures, no
+        retained intermediates.  This is the path for repeated
+        full-batch scoring inside training loops (e.g. the fair
+        discriminator's per-cycle ``predict_log_proba``), where graph
+        bookkeeping over all nodes is pure overhead.
+        """
+        from .tensor import no_grad
+
+        with no_grad():
+            return self.forward(*args, **kwargs)
+
 
 class Linear(Module):
     """Affine map ``y = x W + b`` with Glorot-uniform initialisation."""

@@ -46,6 +46,35 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpoint support ---------------------------------------------
+    #
+    # ``state_dict``/``load_state_dict`` round-trip the optimiser's
+    # internal buffers (momenta, squared-grad accumulators, step count)
+    # so a checkpointed fit resumes with byte-identical updates.  Each
+    # per-parameter buffer list is stored under ``<slot><index>``;
+    # scalar state (Adam's ``t``) as a 0-d array.
+
+    def _buffer_slots(self) -> dict[str, list[np.ndarray]]:
+        """Per-parameter buffer lists to checkpoint, keyed by slot name."""
+        return {}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """The optimiser's mutable state as named array copies."""
+        return {f"{slot}{i}": buf.copy()
+                for slot, buffers in self._buffer_slots().items()
+                for i, buf in enumerate(buffers)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output into the live buffers."""
+        for slot, buffers in self._buffer_slots().items():
+            for i, buf in enumerate(buffers):
+                value = np.asarray(state[f"{slot}{i}"], dtype=buf.dtype)
+                if value.shape != buf.shape:
+                    raise ValueError(
+                        f"shape mismatch for optimiser buffer {slot}{i}: "
+                        f"{buf.shape} vs {value.shape}")
+                buf[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -59,6 +88,9 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _buffer_slots(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
@@ -90,6 +122,18 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+
+    def _buffer_slots(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["t"] = np.array(self._t, dtype=np.int64)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
 
     def step(self) -> None:
         self._t += 1
@@ -126,6 +170,9 @@ class RMSprop(Optimizer):
         self.weight_decay = weight_decay
         self._sq = [np.zeros_like(p.data) for p in self.params]
 
+    def _buffer_slots(self) -> dict[str, list[np.ndarray]]:
+        return {"sq": self._sq}
+
     def step(self) -> None:
         for p, sq in zip(self.params, self._sq):
             if p.grad is None:
@@ -149,6 +196,9 @@ class Adagrad(Optimizer):
         self.lr = lr
         self.eps = eps
         self._accum = [np.zeros_like(p.data) for p in self.params]
+
+    def _buffer_slots(self) -> dict[str, list[np.ndarray]]:
+        return {"accum": self._accum}
 
     def step(self) -> None:
         for p, accum in zip(self.params, self._accum):

@@ -1,0 +1,19 @@
+"""Shared training subsystem: one loop for every trainable model.
+
+``repro.train`` replaces the five hand-rolled fit loops (FairGen's
+Algorithm 1 cycle loop, NetGAN's WGAN iterations, GraphRNN's sequence
+epochs, GAE's full-batch steps and TagGen's walk-corpus epochs) with a
+single :class:`Trainer` that owns batching helpers, optimizer stepping,
+gradient clipping, callbacks and the uniform loss-history contract —
+and, through :class:`TrainState` checkpoints, gives every fit
+byte-identical interrupt/resume semantics that the experiment Runner
+and the distributed sweep scheduler exploit (``<key>.ckpt.npz`` in the
+artifact cache, written on the worker's heartbeat cadence).
+"""
+
+from .trainer import (CHECKPOINT_FORMAT, TrainCallback, TrainControl,
+                      Trainer, TrainState, minibatches, step_rng,
+                      train_step)
+
+__all__ = ["Trainer", "TrainState", "TrainControl", "TrainCallback",
+           "minibatches", "train_step", "step_rng", "CHECKPOINT_FORMAT"]

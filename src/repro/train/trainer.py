@@ -1,0 +1,409 @@
+"""The shared training loop: ``Trainer`` + ``TrainState`` + callbacks.
+
+Before this module every trainable model (FairGen, NetGAN, GraphRNN,
+GAE, TagGen) re-implemented the same loop by hand: batching, optimizer
+stepping, gradient clipping and loss-history bookkeeping, each with its
+own bespoke structure.  ``Trainer`` centralises that loop while keeping
+the *numerics of every model bit-identical* to the legacy code — the
+task still owns the epoch body and consumes the caller's RNG in exactly
+the legacy order, so seeded fits reproduce the pre-refactor parameters
+exactly (pinned by ``tests/fixtures/train_parity.json``).
+
+The loop contract
+-----------------
+A *task* is any object implementing:
+
+``modules() -> Mapping[str, Module]``
+    The named modules whose parameters form the checkpointed state.
+``optimizers() -> Mapping[str, Optimizer]``
+    The named optimizers (their moment buffers checkpoint too, so a
+    resumed Adam continues exactly where it stopped).
+``epoch(state, rng) -> float | dict``
+    One training epoch / cycle / iteration.  The return value is the
+    epoch's loss record; ``Trainer`` appends it to ``state.history`` —
+    the uniform loss-history contract every model now shares.
+
+and optionally:
+
+``extra_state() -> Mapping[str, ndarray]`` / ``load_extra_state(...)``
+    Non-parameter training state (walk pools, curriculum vectors, ...)
+    that must survive a checkpoint/resume round trip.
+
+Checkpoint / resume
+-------------------
+``TrainControl`` attaches checkpointing to a fit: after an epoch whose
+checkpoint is due, the full training state — module parameters,
+optimizer moments, task extras, loss history and the *caller's RNG
+state* — is written atomically to ``checkpoint_path``.  A later fit of
+the same spec finds the file, restores everything and continues from
+the next epoch; because the RNG state is part of the snapshot, the
+resumed fit is byte-identical to an uninterrupted one.
+
+Epoch callbacks
+---------------
+``TrainCallback`` hooks run inside the loop.  ``on_epoch_end`` fires
+*before* the record is committed to history (and may mutate it) — this
+is where FairGen's self-paced curriculum phase lives.  ``on_epoch_commit``
+fires after the history append and any checkpoint write, which makes it
+the injection point for interruption in the resume tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..nn import Module, Optimizer, clip_grad_norm
+
+__all__ = ["TrainCallback", "TrainControl", "TrainState", "Trainer",
+           "minibatches", "train_step", "step_rng", "CHECKPOINT_FORMAT"]
+
+#: bump when the on-disk checkpoint layout changes incompatibly
+CHECKPOINT_FORMAT = "train-ckpt-v1"
+
+
+# ----------------------------------------------------------------------
+# Loop helpers
+# ----------------------------------------------------------------------
+def minibatches(total: int, batch_size: int) -> Iterator[slice]:
+    """Sequential minibatch slices covering ``range(total)`` in order.
+
+    The shared batching idiom of the fit loops (TagGen's corpus walk):
+    slices, not copies, so ``walks[sl]`` stays a cheap view.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    for lo in range(0, total, batch_size):
+        yield slice(lo, lo + batch_size)
+
+
+def train_step(optimizer: Optimizer, params, loss_fn,
+               clip_norm: float | None = None) -> float:
+    """One optimization step: zero grads, compute, backward, clip, step.
+
+    ``loss_fn`` returns the scalar loss Tensor (sampling its own batch
+    if needed — RNG draws land inside the step, like the legacy loops).
+    ``params`` is only consulted when ``clip_norm`` is set.  Returns the
+    loss value.
+    """
+    optimizer.zero_grad()
+    loss = loss_fn()
+    loss.backward()
+    if clip_norm is not None:
+        clip_grad_norm(params, clip_norm)
+    optimizer.step()
+    return loss.item()
+
+
+def step_rng(seed: int, epoch: int, step: int = 0) -> np.random.Generator:
+    """Independent per-step RNG stream for ``(seed, epoch, step)``.
+
+    New Trainer tasks that want order-independent minibatch randomness
+    (e.g. data-parallel epochs) derive one stream per step instead of
+    consuming a shared sequential generator.  The legacy-parity tasks do
+    NOT use this — they keep the sequential consumption their pinned
+    numerics depend on.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([seed & 0xFFFFFFFF, epoch, step]))
+
+
+# ----------------------------------------------------------------------
+# Callbacks
+# ----------------------------------------------------------------------
+class TrainCallback:
+    """No-op base; override the hooks you need."""
+
+    def on_fit_start(self, trainer: "Trainer", state: "TrainState") -> None:
+        """After a possible checkpoint restore, before the first epoch."""
+
+    def on_epoch_start(self, trainer: "Trainer",
+                       state: "TrainState") -> None:
+        """Before the task's epoch body runs."""
+
+    def on_epoch_end(self, trainer: "Trainer", state: "TrainState",
+                     record) -> None:
+        """After the epoch body, before the record is committed.
+
+        ``record`` is the task's return value; a dict record may be
+        mutated in place (FairGen's curriculum phase extends it here).
+        Everything done in this hook is covered by the epoch's
+        checkpoint.
+        """
+
+    def on_epoch_commit(self, trainer: "Trainer",
+                        state: "TrainState") -> None:
+        """After the record is in history and any checkpoint is written."""
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        """After the last epoch (not reached when a hook raises)."""
+
+
+@dataclass
+class TrainControl:
+    """External control of a fit: checkpoint cadence and resume.
+
+    The experiment :class:`~repro.experiments.Runner` installs one of
+    these on a model (``model.train_control``) before calling ``fit``;
+    models pass it through to their :class:`Trainer`.  ``None`` (the
+    default everywhere) trains exactly as before, with no checkpoint
+    I/O at all.
+    """
+
+    #: where the ``.ckpt.npz`` lives; ``None`` disables checkpointing
+    checkpoint_path: str | os.PathLike | None = None
+    #: minimum seconds between checkpoint writes (0 = every epoch).
+    #: The scheduler's Worker sets its heartbeat interval here, so a
+    #: SIGKILLed fit loses at most one lease period of work.
+    min_save_interval: float = 0.0
+    #: load ``checkpoint_path`` when it exists and matches ``tag``
+    resume: bool = True
+    #: invalidation stamp (the Runner passes its resolved-params stamp);
+    #: a checkpoint written under a different tag is ignored
+    tag: str | None = None
+    #: extra callbacks appended after the trainer's own
+    callbacks: Sequence[TrainCallback] = ()
+
+
+# ----------------------------------------------------------------------
+# Training state + checkpoint archive
+# ----------------------------------------------------------------------
+@dataclass
+class TrainState:
+    """Progress of one fit: epoch counter plus the loss history.
+
+    After :meth:`load`, the restore payload (parameters, optimizer
+    moments, extras, RNG state) is carried privately until
+    :meth:`restore` applies it to a task.
+    """
+
+    epoch: int = 0
+    history: list = field(default_factory=list)
+    tag: str | None = None
+    _payload: dict | None = field(default=None, repr=False)
+    _rng_state: dict | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike, task,
+             rng: np.random.Generator, tag: str | None = None) -> None:
+        """Atomically write the full training snapshot as ``.ckpt.npz``.
+
+        Captures the task's module parameters, optimizer moments and
+        extra arrays, this state's epoch/history, and ``rng``'s exact
+        bit-generator state — everything needed for a byte-identical
+        resume.  Written via a temp file + ``os.replace`` so a crash
+        mid-write can never leave a truncated archive behind.
+        """
+        path = Path(path)
+        payload: dict[str, np.ndarray] = {
+            "format": np.frombuffer(CHECKPOINT_FORMAT.encode(),
+                                    dtype=np.uint8)}
+        for mod_name, module in task.modules().items():
+            for name, value in module.state_dict().items():
+                payload[f"module/{mod_name}/{name}"] = value
+        for opt_name, optimizer in task.optimizers().items():
+            for name, value in optimizer.state_dict().items():
+                payload[f"optim/{opt_name}/{name}"] = value
+        if hasattr(task, "extra_state"):
+            for name, value in task.extra_state().items():
+                payload[f"extra/{name}"] = np.asarray(value)
+        meta = {"epoch": self.epoch, "history": self.history,
+                "rng_state": rng.bit_generator.state, "tag": tag}
+        payload["meta_json"] = np.frombuffer(
+            json.dumps(meta, default=str).encode(), dtype=np.uint8)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TrainState | None":
+        """Read a checkpoint; ``None`` for missing/corrupt/foreign files.
+
+        A checkpoint is a pure optimisation — any read problem degrades
+        to "train from scratch" rather than failing the fit.
+        """
+        import zipfile
+
+        path = Path(path)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                if "format" not in archive or "meta_json" not in archive:
+                    return None
+                if archive["format"].tobytes().decode() != CHECKPOINT_FORMAT:
+                    return None
+                meta = json.loads(archive["meta_json"].tobytes().decode())
+                arrays = {name: archive[name] for name in archive.files
+                          if name not in ("format", "meta_json")}
+        except (OSError, ValueError, KeyError, json.JSONDecodeError,
+                zipfile.BadZipFile):
+            return None
+        state = cls(epoch=int(meta["epoch"]), history=list(meta["history"]),
+                    tag=meta.get("tag"))
+        state._payload = arrays
+        state._rng_state = meta.get("rng_state")
+        return state
+
+    # ------------------------------------------------------------------
+    def restore(self, task, rng: np.random.Generator) -> None:
+        """Apply a loaded snapshot to ``task`` and ``rng`` in place.
+
+        Transactional: if any part of the snapshot fails to apply (a
+        layout drift, a missing module's arrays), the task is rolled
+        back to its pre-restore state before the error propagates —
+        a failed resume must leave a clean "train from scratch" slate,
+        never half-checkpoint weights.
+        """
+        if self._payload is None:
+            raise RuntimeError("restore() needs a state produced by load()")
+        arrays = self._payload
+        rollback_modules = {name: module.state_dict()
+                            for name, module in task.modules().items()}
+        rollback_opts = {name: optimizer.state_dict()
+                         for name, optimizer in task.optimizers().items()}
+        rollback_extra = None
+        if hasattr(task, "extra_state"):
+            rollback_extra = {name: np.array(value, copy=True)
+                              for name, value in task.extra_state().items()}
+        try:
+            for mod_name, module in task.modules().items():
+                prefix = f"module/{mod_name}/"
+                module.load_state_dict(
+                    {name[len(prefix):]: value
+                     for name, value in arrays.items()
+                     if name.startswith(prefix)})
+            for opt_name, optimizer in task.optimizers().items():
+                prefix = f"optim/{opt_name}/"
+                optimizer.load_state_dict(
+                    {name[len(prefix):]: value
+                     for name, value in arrays.items()
+                     if name.startswith(prefix)})
+            if hasattr(task, "load_extra_state"):
+                task.load_extra_state(
+                    {name[len("extra/"):]: value
+                     for name, value in arrays.items()
+                     if name.startswith("extra/")})
+            if self._rng_state is not None:
+                # PCG64 state is nested plain ints, which JSON
+                # round-trips exactly — restoring it makes the resumed
+                # draw sequence continue bit-for-bit where the
+                # checkpoint left off.
+                rng.bit_generator.state = self._rng_state
+        except Exception:
+            for name, module in task.modules().items():
+                module.load_state_dict(rollback_modules[name])
+            for name, optimizer in task.optimizers().items():
+                optimizer.load_state_dict(rollback_opts[name])
+            if rollback_extra is not None:
+                task.load_extra_state(rollback_extra)
+            raise
+
+
+# ----------------------------------------------------------------------
+# The Trainer
+# ----------------------------------------------------------------------
+class Trainer:
+    """Drives a task's epochs with callbacks and checkpoint/resume.
+
+    Parameters
+    ----------
+    task:
+        The object owning modules, optimizers and the epoch body (see
+        the module docstring for the contract).
+    epochs:
+        Total epoch count of a complete fit.  A resumed fit continues
+        from the checkpoint's epoch up to this total.
+    callbacks:
+        :class:`TrainCallback` hooks, run in order (control callbacks
+        run after these).
+    control:
+        Optional :class:`TrainControl` for checkpointing/resume.
+    """
+
+    def __init__(self, task, *, epochs: int,
+                 callbacks: Sequence[TrainCallback] = (),
+                 control: TrainControl | None = None):
+        if epochs < 0:
+            raise ValueError("epochs must be >= 0")
+        self.task = task
+        self.epochs = epochs
+        self.control = control
+        self.callbacks: list[TrainCallback] = list(callbacks)
+        if control is not None:
+            self.callbacks.extend(control.callbacks)
+        #: the RNG of the running fit (callbacks may consume it — the
+        #: curriculum phase draws its discriminator batches from here)
+        self.rng: np.random.Generator | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, rng: np.random.Generator, *,
+            state: TrainState | None = None) -> TrainState:
+        """Run (or resume) the loop; returns the final state.
+
+        When ``state`` is omitted and the control names an existing,
+        tag-matching checkpoint, training resumes from it: parameters,
+        optimizer moments, task extras and ``rng`` are restored in
+        place, and only the remaining epochs run.
+        """
+        control = self.control
+        if state is None:
+            state = self._resume_state(rng) or TrainState()
+        self.rng = rng
+        path = (Path(control.checkpoint_path)
+                if control is not None and control.checkpoint_path is not None
+                else None)
+        last_save = time.monotonic()
+        try:
+            for cb in self.callbacks:
+                cb.on_fit_start(self, state)
+            while state.epoch < self.epochs:
+                for cb in self.callbacks:
+                    cb.on_epoch_start(self, state)
+                record = self.task.epoch(state, rng)
+                for cb in self.callbacks:
+                    cb.on_epoch_end(self, state, record)
+                state.history.append(record)
+                state.epoch += 1
+                if path is not None and (
+                        control.min_save_interval <= 0.0
+                        or time.monotonic() - last_save
+                        >= control.min_save_interval):
+                    state.save(path, self.task, rng, tag=control.tag)
+                    last_save = time.monotonic()
+                for cb in self.callbacks:
+                    cb.on_epoch_commit(self, state)
+            for cb in self.callbacks:
+                cb.on_fit_end(self, state)
+        finally:
+            self.rng = None
+        return state
+
+    # ------------------------------------------------------------------
+    def _resume_state(self, rng: np.random.Generator) -> TrainState | None:
+        """Load + apply the control's checkpoint, if one is usable."""
+        control = self.control
+        if (control is None or control.checkpoint_path is None
+                or not control.resume):
+            return None
+        state = TrainState.load(control.checkpoint_path)
+        if state is None:
+            return None
+        if state.tag != control.tag or state.epoch > self.epochs:
+            return None  # stale: different resolved params or schedule
+        try:
+            state.restore(self.task, rng)
+        except (KeyError, ValueError, RuntimeError, TypeError):
+            return None  # shape/layout drift: train from scratch instead
+        return state

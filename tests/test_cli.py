@@ -40,9 +40,14 @@ class TestParser:
         assert args.workers == 2
 
     def test_sweep_requires_queue_and_cache(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["sweep", "--model", "er", "--dataset", "EMAIL"])
+        # Validation happens in the command (not argparse) so that
+        # --status can run without the grid arguments.
+        with pytest.raises(SystemExit, match="--queue-dir"):
+            main(["sweep", "--model", "er", "--dataset", "EMAIL"])
+
+    def test_sweep_status_flag_parses_alone(self):
+        args = build_parser().parse_args(["sweep", "--status", "qdir"])
+        assert args.status == "qdir"
 
     def test_worker_args(self):
         args = build_parser().parse_args(

@@ -205,6 +205,12 @@ class TestNetGAN:
         with pytest.raises(RuntimeError):
             NetGAN().generate_walks(4, rng)
 
+    def test_zero_critic_steps_rejected(self):
+        # The WGAN iteration's record is the last critic loss, so a
+        # critic-free iteration is meaningless; fail at construction.
+        with pytest.raises(ValueError, match="critic_steps"):
+            NetGAN(critic_steps=0)
+
     def test_rollout_soft_is_distribution(self, small_graph, rng):
         model = NetGAN(iterations=1, batch_size=4, walk_length=4)
         model.fit(small_graph, rng)

@@ -364,6 +364,82 @@ class TestRunManyScheduler:
 
 
 # ----------------------------------------------------------------------
+# Read-only status dashboard
+# ----------------------------------------------------------------------
+class TestQueueStatus:
+    def test_status_reports_pending_claimed_and_failed(self, tmp_path):
+        queue = JobQueue(tmp_path, lease_timeout=30.0, max_retries=0)
+        queue.submit([_spec(seed=s) for s in (0, 1, 2)])
+        claimed = queue.claim("worker-a")
+        failed = queue.claim("worker-a")
+        queue.fail(failed.id, "worker-a",
+                   "Traceback (most recent call last):\n"
+                   "ValueError: boom goes the dataset")
+
+        snapshot = queue.status()
+        assert snapshot["counts"] == {"pending": 1, "claimed": 1,
+                                      "done": 0, "failed": 1}
+        by_state = {}
+        for job in snapshot["jobs"]:
+            by_state.setdefault(job["state"], []).append(job)
+
+        [pending] = by_state["pending"]
+        assert pending["attempts"] == 0 and pending["worker"] is None
+
+        [running] = by_state["claimed"]
+        assert running["id"] == claimed.id
+        assert running["worker"] == "worker-a"
+        assert 0.0 <= running["lease_age"] < 30.0
+        assert running["note"] == ""
+
+        [dead] = by_state["failed"]
+        assert dead["note"] == "ValueError: boom goes the dataset"
+        assert dead["retries"] == 1
+
+    def test_status_flags_expired_leases_without_recovering(self, tmp_path):
+        queue = JobQueue(tmp_path, lease_timeout=0.05)
+        queue.submit([_spec()])
+        job = queue.claim("w")
+        time.sleep(0.1)
+        snapshot = queue.status()
+        [row] = [j for j in snapshot["jobs"] if j["state"] == "claimed"]
+        assert row["note"] == "lease expired"
+        # Read-only: the job is still claimed, not requeued.
+        assert queue.counts()["claimed"] == 1
+        assert queue.payload(job.id)["state"] == "claimed"
+
+    def test_status_of_empty_queue(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        snapshot = queue.status()
+        assert snapshot["jobs"] == []
+        assert sum(snapshot["counts"].values()) == 0
+
+    def test_cli_sweep_status_renders_dashboard(self, tmp_path, capsys):
+        queue = JobQueue(tmp_path / "q")
+        queue.submit([_spec(seed=0), _spec(seed=1)])
+        queue.claim("cli-worker")
+        assert main(["sweep", "--status", os.fspath(tmp_path / "q")]) == 0
+        out = capsys.readouterr().out
+        assert "pending=1" in out and "claimed=1" in out
+        assert "cli-worker" in out
+
+    def test_cli_sweep_status_rejects_missing_queue(self, tmp_path):
+        with pytest.raises(SystemExit, match="no queue"):
+            main(["sweep", "--status", os.fspath(tmp_path / "nowhere")])
+
+    def test_cli_sweep_status_does_not_scaffold_non_queue_dirs(
+            self, tmp_path):
+        """--status on an arbitrary existing directory must refuse,
+        not silently convert it into a valid empty queue."""
+        innocent = tmp_path / "results"
+        innocent.mkdir()
+        (innocent / "data.txt").write_text("not a queue")
+        with pytest.raises(SystemExit, match="no queue"):
+            main(["sweep", "--status", os.fspath(innocent)])
+        assert sorted(p.name for p in innocent.iterdir()) == ["data.txt"]
+
+
+# ----------------------------------------------------------------------
 # Crash recovery: SIGKILL a worker mid-job
 # ----------------------------------------------------------------------
 class TestCrashRecovery:
@@ -374,8 +450,14 @@ class TestCrashRecovery:
         A worker process is SIGKILLed while fitting; its lease stops
         heartbeating and expires; a second worker requeues the job via
         recovery, completes it exactly once, and the final artifacts are
-        identical to a sequential ``run_many`` over the same spec —
-        the retry re-derives the same deterministic RNG streams.
+        identical to a sequential ``run_many`` over the same spec.
+
+        The kill waits for the victim's first mid-fit checkpoint
+        (written on its heartbeat cadence), so the rescue exercises the
+        resume path: the second worker continues the fit from the
+        ``.ckpt.npz`` in the shared cache rather than refitting from
+        epoch zero — and must still reproduce the sequential run's
+        bytes, because the checkpoint carries the exact RNG state.
         """
         spec = _spec(model="fairgen", **SLOW_OVERRIDES)
         queue_dir = tmp_path / "q"
@@ -389,11 +471,12 @@ class TestCrashRecovery:
                   True, 3, 0.2),
             daemon=True)
         victim.start()
-        lease_path = queue_dir / "leases" / f"{spec.cache_key()}.json"
+        ckpt_path = cache_dir / f"{spec.cache_key()}.ckpt.npz"
         deadline = time.monotonic() + 30
-        while not lease_path.exists():
-            assert time.monotonic() < deadline, "worker never claimed"
-            assert victim.is_alive(), "worker died before claiming"
+        while not ckpt_path.exists():
+            assert time.monotonic() < deadline, \
+                "worker never wrote a mid-fit checkpoint"
+            assert victim.is_alive(), "worker died before checkpointing"
             time.sleep(0.005)
         os.kill(victim.pid, signal.SIGKILL)
         victim.join()
@@ -414,6 +497,8 @@ class TestCrashRecovery:
         assert "lease expired" in payload["errors"][0]["error"]
         # Exactly one *completed* fit: the victim died before reporting.
         assert queue.fit_log() == [(spec.cache_key(), "rescuer")]
+        # The finished artifacts superseded the mid-fit checkpoint.
+        assert not ckpt_path.exists()
 
         # Byte-identical outcome vs a sequential run of the same spec.
         [distributed] = Runner(cache_dir=cache_dir,

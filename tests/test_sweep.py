@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.experiments import ExperimentSpec, JobQueue, Runner
@@ -170,3 +171,98 @@ class TestSweepReport:
         report = SweepReport(specs=[], job_ids=[], results=[],
                              fits=[("a", "w1"), ("a", "w2"), ("b", "w1")])
         assert report.duplicate_fits == 1
+
+
+class TestScoreboard:
+    @staticmethod
+    def _result(spec, overall, protected=None, surrogate=False):
+        from repro.experiments import RunResult
+        from repro.graph import Graph
+
+        metrics = {"overall": {}, "overall_mean": overall}
+        if protected is not None:
+            metrics["protected_mean"] = protected
+            metrics["protected_surrogate"] = surrogate
+        return RunResult(spec=spec,
+                         generated=Graph.from_edges(2, [(0, 1)]),
+                         fit_seconds=0.0, generate_seconds=0.0,
+                         metrics=metrics)
+
+    def _report(self):
+        specs = [ExperimentSpec(model="er", dataset=SMALLEST,
+                                profile="smoke", seed=s) for s in (0, 1, 2)]
+        specs.append(ExperimentSpec(model="ba", dataset=SMALLEST,
+                                    profile="smoke"))
+        specs.append(ExperimentSpec(model="ba", dataset="FB",
+                                    profile="smoke"))
+        results = [self._result(specs[0], 0.1),
+                   self._result(specs[1], 0.2),
+                   self._result(specs[2], 0.3),
+                   self._result(specs[3], 0.5, protected=0.4,
+                                surrogate=True),
+                   None]  # the FB job failed
+        return SweepReport(specs=specs,
+                           job_ids=[s.cache_key() for s in specs],
+                           results=results)
+
+    def test_seed_averaged_mean_and_std_per_cell(self):
+        board = self._report().scoreboard()
+        by_key = {(r["model"], r["dataset"]): r for r in board}
+        er = by_key[("ER", SMALLEST)]
+        assert er["seeds"] == 3
+        assert er["overall_mean"] == pytest.approx(0.2)
+        assert er["overall_std"] == pytest.approx(
+            float(np.std([0.1, 0.2, 0.3])))
+        assert "protected_mean" not in er
+
+    def test_protected_and_surrogate_flag_propagate(self):
+        board = self._report().scoreboard()
+        ba = next(r for r in board if r["model"] == "BA")
+        assert ba["protected_mean"] == pytest.approx(0.4)
+        assert ba["protected_std"] == pytest.approx(0.0)
+        assert ba["protected_surrogate"] is True
+
+    def test_failed_jobs_and_metricless_results_are_skipped(self):
+        report = self._report()
+        # A metrics-free result (sweep ran without with_metrics).
+        report.results[0].metrics = None
+        board = report.scoreboard()
+        er = next(r for r in board if r["model"] == "ER")
+        assert er["seeds"] == 2  # seed 0 dropped, failed FB job dropped
+        assert all(r["dataset"] != "FB" for r in board)
+
+    def test_rows_sorted_by_model_dataset_profile(self):
+        board = self._report().scoreboard()
+        keys = [(r["model"], r["dataset"], r["profile"]) for r in board]
+        # canonical (lowercase) model names drive the sort order
+        assert keys == sorted(keys, key=lambda k: (k[0].lower(), *k[1:]))
+
+    def test_empty_report_gives_empty_board(self):
+        assert SweepReport(specs=[], job_ids=[],
+                           results=[]).scoreboard() == []
+
+    def test_override_axes_form_separate_cells(self):
+        """Specs differing only in overrides must not be averaged
+        together as if they were seeds of one configuration."""
+        specs = [ExperimentSpec(model="gae", dataset=SMALLEST,
+                                profile="smoke", seed=s,
+                                overrides={"epochs": e})
+                 for e in (2, 4) for s in (0, 1)]
+        results = [self._result(s, 0.1 * (i + 1))
+                   for i, s in enumerate(specs)]
+        board = SweepReport(specs=specs,
+                            job_ids=[s.cache_key() for s in specs],
+                            results=results).scoreboard()
+        assert len(board) == 2  # one cell per epochs value
+        assert all(row["seeds"] == 2 for row in board)
+        assert sorted(row["overrides"]["epochs"] for row in board) == [2, 4]
+
+    def test_live_sweep_scoreboard_matches_runner_metrics(self, tmp_path):
+        specs = grid("er", SMALLEST, profiles="smoke", seeds=[0, 1])
+        report = run_sweep(specs, tmp_path / "q", tmp_path / "cache",
+                           workers=1, with_metrics=True, timeout=300)
+        [row] = report.scoreboard()
+        values = [r.metrics["overall_mean"] for r in report.results]
+        assert row["seeds"] == 2
+        assert row["overall_mean"] == pytest.approx(np.mean(values))
+        assert row["overall_std"] == pytest.approx(np.std(values))
