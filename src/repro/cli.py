@@ -71,6 +71,11 @@ def _add_run_arguments(cmd: argparse.ArgumentParser,
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FairGen reproduction command line")
+    parser.add_argument("--backend", choices=None, default=None,
+                        metavar="NAME",
+                        help="tensor backend for every numeric op "
+                             "(default: $REPRO_BACKEND or 'numpy'; see "
+                             "repro.nn.available_backends())")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="print dataset statistics")
@@ -118,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "and wait for external `repro worker` fleets)")
     swp.add_argument("--with-metrics", action="store_true",
                      help="compute the discrepancy scoreboard per spec")
+    swp.add_argument("--stack-seeds", action="store_true",
+                     help="collapse each eligible grid cell's seed axis "
+                          "into ONE vmap-style stacked fit before "
+                          "submission (per-seed artifacts land under "
+                          "their ordinary cache keys; workers then "
+                          "replay them with zero refits)")
     swp.add_argument("--submit-only", action="store_true",
                      help="enqueue the grid and exit without waiting")
     swp.add_argument("--lease-timeout", type=float, default=None,
@@ -347,7 +358,7 @@ def _cmd_sweep(args) -> int:
     try:
         report = sweep_api.run_sweep(
             specs, args.queue_dir, args.cache_dir, workers=args.workers,
-            with_metrics=args.with_metrics,
+            with_metrics=args.with_metrics, stack_seeds=args.stack_seeds,
             lease_timeout=args.lease_timeout, max_retries=args.max_retries,
             timeout=args.timeout, allow_surrogate=args.surrogate_labels,
             progress=progress)
@@ -440,6 +451,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.backend is not None:
+        from .nn import set_backend
+
+        try:
+            set_backend(args.backend)
+        except KeyError as exc:
+            raise SystemExit(str(exc)) from exc
     return _COMMANDS[args.command](args)
 
 

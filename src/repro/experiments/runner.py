@@ -53,7 +53,7 @@ import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -365,6 +365,128 @@ class Runner:
             return [self._memory[spec] for spec in specs]
         return [self.run(spec, need_model=need_model,
                          with_metrics=with_metrics) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Seed-stacked execution
+    # ------------------------------------------------------------------
+    def stackable(self, specs: Sequence[ExperimentSpec]) -> bool:
+        """Whether ``specs`` form a seed-stackable grid cell.
+
+        A cell stacks when its specs differ *only* in seed, there are at
+        least two of them, and the model opts into ``fit_stacked`` while
+        taking no supervision (per-seed supervision streams would differ
+        across the stack, breaking per-seed reproducibility).
+        """
+        specs = list(specs)
+        if len(specs) < 2:
+            return False
+        head = specs[0]
+        cell = (head.model, head.dataset, head.profile, head.overrides)
+        if any((s.model, s.dataset, s.profile, s.overrides) != cell
+               for s in specs[1:]):
+            return False
+        if len({s.seed for s in specs}) != len(specs):
+            return False
+        entry = get_entry(head.model)
+        if entry.needs_supervision:
+            return False
+        return entry.build(head.profile, head.override_dict) \
+            .supports_stacked_fit
+
+    def run_stacked(self, specs: Sequence[ExperimentSpec], *,
+                    need_model: bool = False,
+                    with_metrics: bool = False) -> list[RunResult]:
+        """Execute one grid cell's seeds as a single stacked fit.
+
+        The K specs must differ only in seed.  Cache-warm seeds are
+        served without fitting; the misses train as ONE vmap-style
+        tensor program (:meth:`GraphGenerativeModel.fit_stacked`) and
+        unstack into per-seed artifacts stored under the *same* cache
+        keys the per-seed path uses — a later ``run`` of any seed, here
+        or in a sweep worker, replays them indistinguishably.  Cells
+        that cannot stack (single seed, supervision, unsupported model)
+        degrade to sequential :meth:`run` calls.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if not self.stackable(specs):
+            return [self.run(spec, need_model=need_model,
+                             with_metrics=with_metrics) for spec in specs]
+        pending = []
+        for spec in specs:
+            existing = self._memory.get(spec)
+            if existing is not None and need_model \
+                    and existing.model is None:
+                existing = None
+            if existing is None:
+                existing = self._load_from_disk(spec, with_metrics,
+                                                need_model=need_model)
+                if existing is not None:
+                    self._memory[spec] = existing
+            if existing is None:
+                pending.append(spec)
+        if len(pending) == 1:
+            self.run(pending[0], need_model=need_model,
+                     with_metrics=with_metrics)
+        elif pending:
+            self._execute_stacked(pending)
+        # Everything is now warm; serve in order (filling metrics/models
+        # through the ordinary replay path).
+        return [self.run(spec, need_model=need_model,
+                         with_metrics=with_metrics) for spec in specs]
+
+    def _execute_stacked(self, specs: list[ExperimentSpec]) -> None:
+        """Fit a cell's pending seeds as one stacked program and store
+        each seed's artifacts exactly as :meth:`_execute` would."""
+        entry = get_entry(specs[0].model)
+        data = self.dataset(specs[0].dataset)
+        models = [entry.build(spec.profile, spec.override_dict)
+                  for spec in specs]
+        rngs = [spec.rng(stream=0) for spec in specs]
+
+        control = None
+        if self.cache_dir is not None:
+            from ..train import TrainControl
+
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            control = TrainControl(
+                checkpoint_path=self.stacked_checkpoint_path(specs),
+                min_save_interval=self.checkpoint_interval,
+                tag=self._stamp(specs[0]))
+
+        start = time.perf_counter()
+        type(models[0]).fit_stacked(models, data.graph, rngs,
+                                    control=control)
+        # The stack shares one fit; bill each seed its amortised share.
+        fit_seconds = (time.perf_counter() - start) / len(specs)
+
+        for spec, model, rng in zip(specs, models, rngs):
+            start = time.perf_counter()
+            generated = model.generate(rng)
+            generate_seconds = time.perf_counter() - start
+            self._store(spec, RunResult(
+                spec=spec, generated=generated, fit_seconds=fit_seconds,
+                generate_seconds=generate_seconds, from_cache=False,
+                model=model))
+        if control is not None:
+            Path(control.checkpoint_path).unlink(missing_ok=True)
+
+    def stacked_checkpoint_path(self,
+                                specs: Sequence[ExperimentSpec]) -> Path:
+        """Cell-level ``.stacked.ckpt.npz`` path for a stacked fit.
+
+        Keyed by the cell plus the ordered seed list, so the same cell
+        stacked over the same seeds resumes its checkpoint and any other
+        seed set trains separately.
+        """
+        head = specs[0]
+        digest = zlib.crc32(json.dumps(
+            [[s.seed for s in specs], head.overrides],
+            sort_keys=True, default=str).encode())
+        key = (f"{head.model}__{head.dataset}__{head.profile}"
+               f"__stack{len(specs)}_{digest:08x}")
+        return self.cache_dir / f"{key}.stacked.ckpt.npz"
 
     # ------------------------------------------------------------------
     def _run_scheduled(self, specs: list[ExperimentSpec], scheduler, *,

@@ -1,5 +1,9 @@
 """NumPy neural-network substrate (autograd, layers, attention, LSTM)."""
 
+from .backend import (Backend, FusedNumpyBackend, NumpyBackend, OPS,
+                      available_backends, get_backend, register_backend,
+                      set_backend, use_backend)
+from .backend import active as active_backend
 from .tensor import Tensor, no_grad, is_grad_enabled
 from .layers import (Dropout, Embedding, LayerNorm, Linear, MLP, Module,
                      Parameter, Sequential)
@@ -10,10 +14,14 @@ from .rnn import LSTM, LSTMCell
 from .optim import (Adagrad, Adam, CosineAnnealingLR, LRScheduler,
                     Optimizer, RMSprop, SGD, StepLR, clip_grad_norm)
 from .serialization import load_state, save_state
+from .vmap import StackedModules, stack_modules, unstack_state_dict
 from . import functional
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled",
+    "Backend", "NumpyBackend", "FusedNumpyBackend", "OPS",
+    "register_backend", "available_backends", "get_backend",
+    "set_backend", "use_backend", "active_backend",
     "Module", "Parameter", "Linear", "Embedding", "LayerNorm", "Dropout",
     "Sequential", "MLP",
     "MultiHeadSelfAttention", "TransformerBlock", "causal_mask",
@@ -22,5 +30,6 @@ __all__ = [
     "Optimizer", "SGD", "Adam", "RMSprop", "Adagrad", "clip_grad_norm",
     "LRScheduler", "StepLR", "CosineAnnealingLR",
     "save_state", "load_state",
+    "StackedModules", "stack_modules", "unstack_state_dict",
     "functional",
 ]

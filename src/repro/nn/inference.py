@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from .attention import LayerKVCache, causal_mask
+from .backend import active as _backend
 
 __all__ = ["WalkDecoder"]
 
@@ -38,23 +39,17 @@ __all__ = ["WalkDecoder"]
 def _layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
                 eps: float) -> np.ndarray:
     """Mirror of :meth:`repro.nn.layers.LayerNorm.forward`."""
-    mu = x.mean(axis=-1, keepdims=True)
-    centered = x - mu
-    var = (centered * centered).mean(axis=-1, keepdims=True)
-    return centered / np.sqrt(var + eps) * gamma + beta
+    return _backend().layer_norm(x, gamma, beta, eps)
 
 
 def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Mirror of :meth:`repro.nn.Tensor.softmax`."""
-    shifted = x - x.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=axis, keepdims=True)
+    return _backend().softmax(x, axis=axis)
 
 
 def _gelu(x: np.ndarray) -> np.ndarray:
     """Mirror of :meth:`repro.nn.Tensor.gelu` (tanh approximation)."""
-    c = np.sqrt(2.0 / np.pi)
-    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+    return _backend().gelu(x)
 
 
 class _BlockWeights:
@@ -121,11 +116,12 @@ class WalkDecoder:
         batch, length = tokens.shape
         if self._length + length > self._positions.shape[0]:
             raise ValueError("decoding past the configured maximum length")
+        B = _backend()
         h = self._embed[tokens] \
             + self._positions[self._length: self._length + length]
         scale = None
         for blk, cache in zip(self._blocks, self._caches):
-            x = _layer_norm(h, *blk.norm1)
+            x = B.layer_norm(h, *blk.norm1)
             if scale is None:
                 scale = 1.0 / np.sqrt(blk.head_dim)
 
@@ -133,23 +129,23 @@ class WalkDecoder:
                 return t.reshape(batch, length, blk.num_heads,
                                  blk.head_dim).transpose(0, 2, 1, 3)
 
-            q = split(x @ blk.q[0] + blk.q[1])
-            k = split(x @ blk.k[0] + blk.k[1])
-            v = split(x @ blk.v[0] + blk.v[1])
+            q = split(B.linear(x, *blk.q))
+            k = split(B.linear(x, *blk.k))
+            v = split(B.linear(x, *blk.v))
             k_all, v_all = cache.append(k, v)
             scores = (q @ k_all.transpose(0, 1, 3, 2)) * scale
             if mask is not None:
                 scores = scores + mask
-            context = _softmax(scores) @ v_all
+            context = B.softmax(scores) @ v_all
             merged = context.transpose(0, 2, 1, 3).reshape(
                 batch, length, blk.dim)
-            h = h + (merged @ blk.out[0] + blk.out[1])
-            x2 = _layer_norm(h, *blk.norm2)
-            hidden = _gelu(x2 @ blk.ff_in[0] + blk.ff_in[1])
-            h = h + (hidden @ blk.ff_out[0] + blk.ff_out[1])
+            h = h + B.linear(merged, *blk.out)
+            x2 = B.layer_norm(h, *blk.norm2)
+            hidden = B.gelu(B.linear(x2, *blk.ff_in))
+            h = h + B.linear(hidden, *blk.ff_out)
         self._length += length
-        out = _layer_norm(h[:, -1, :], *self._final_norm)
-        return out @ self._head[0] + self._head[1]
+        out = B.layer_norm(h[:, -1, :], *self._final_norm)
+        return B.linear(out, *self._head)
 
     # ------------------------------------------------------------------
     def prefill(self, tokens: np.ndarray) -> np.ndarray:

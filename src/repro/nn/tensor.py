@@ -15,58 +15,71 @@ Design notes
   topological sort and calls the closures in reverse order.
 * Broadcasting follows NumPy semantics; :func:`_unbroadcast` reduces an
   upstream gradient back to the shape of the operand that was broadcast.
+* Every numeric kernel — forward data and the compound backward kernels —
+  dispatches through the active :class:`~repro.nn.backend.Backend`, so the
+  whole engine retargets when :func:`~repro.nn.backend.set_backend` swaps
+  the ops table.  Each op captures the backend once at record time; its
+  backward closure therefore runs on the same backend the forward pass
+  used even if the active backend changes before ``backward()``.
+* Grad-enabled state is **per-thread** (``threading.local``): a
+  ``no_grad()`` scoring pass on one thread must not disable graph
+  construction for a concurrent fit on another.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .backend import active as _backend
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 
-_GRAD_ENABLED = True
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
-    """Context manager that disables graph construction (inference mode)."""
+    """Context manager that disables graph construction (inference mode).
+
+    The flag lives in thread-local state: entering ``no_grad`` on one
+    thread leaves autograd recording untouched on every other thread.
+    """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded for autograd."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
     if grad.shape == shape:
         return grad
+    B = _backend()
     # Remove leading broadcast dimensions.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = B.sum(grad, axis=tuple(range(extra)))
     # Sum over axes that were size-1 in the original shape.
     axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+        grad = B.sum(grad, axis=axes, keepdims=True)
+    return B.reshape(grad, shape)
 
 
 def _as_array(value) -> np.ndarray:
-    if isinstance(value, np.ndarray):
-        return value.astype(np.float64, copy=False)
-    return np.asarray(value, dtype=np.float64)
+    return _backend().asarray(value, np.float64)
 
 
 class Tensor:
@@ -148,7 +161,7 @@ class Tensor:
         bookkeeping.  (The heavy decode loop goes further and bypasses
         ``Tensor`` entirely via :mod:`repro.nn.inference`.)
         """
-        if not _GRAD_ENABLED:
+        if not is_grad_enabled():
             return Tensor(data)
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
@@ -175,7 +188,8 @@ class Tensor:
             self._accumulate(_unbroadcast(out.grad, self.shape))
             other._accumulate(_unbroadcast(out.grad, other.shape))
 
-        return self._make(self.data + other.data, (self, other), backward)
+        return self._make(_backend().add(self.data, other.data),
+                          (self, other), backward)
 
     __radd__ = __add__
 
@@ -183,7 +197,7 @@ class Tensor:
         def backward(out: Tensor) -> None:
             self._accumulate(-out.grad)
 
-        return self._make(-self.data, (self,), backward)
+        return self._make(_backend().negative(self.data), (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
         other = self._lift(other)
@@ -192,7 +206,8 @@ class Tensor:
             self._accumulate(_unbroadcast(out.grad, self.shape))
             other._accumulate(_unbroadcast(-out.grad, other.shape))
 
-        return self._make(self.data - other.data, (self, other), backward)
+        return self._make(_backend().subtract(self.data, other.data),
+                          (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
         return self._lift(other) - self
@@ -204,7 +219,8 @@ class Tensor:
             self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
             other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
 
-        return self._make(self.data * other.data, (self, other), backward)
+        return self._make(_backend().multiply(self.data, other.data),
+                          (self, other), backward)
 
     __rmul__ = __mul__
 
@@ -216,22 +232,49 @@ class Tensor:
             other._accumulate(
                 _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape))
 
-        return self._make(self.data / other.data, (self, other), backward)
+        return self._make(_backend().divide(self.data, other.data),
+                          (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._lift(other) / self
 
-    def __pow__(self, exponent: float) -> "Tensor":
+    def __pow__(self, exponent) -> "Tensor":
+        B = _backend()
+        if isinstance(exponent, Tensor):
+            other = exponent
+            data = B.power(self.data, other.data)
+
+            def backward(out: Tensor) -> None:
+                self._accumulate(_unbroadcast(
+                    out.grad * other.data * B.power(self.data, other.data - 1.0),
+                    self.shape))
+                # d(a**b)/db = a**b * log(a); NaN for a <= 0, as in torch.
+                other._accumulate(_unbroadcast(
+                    out.grad * data * B.log(self.data), other.shape))
+
+            return self._make(data, (self, other), backward)
+
+        if isinstance(exponent, np.integer):
+            exponent = int(exponent)
+        elif isinstance(exponent, np.floating):
+            exponent = float(exponent)
         if not isinstance(exponent, (int, float)):
-            raise TypeError("only scalar exponents are supported")
+            raise TypeError(
+                "Tensor.__pow__ expects a Python/NumPy scalar or Tensor "
+                f"exponent, got {type(exponent).__name__}")
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(
+                out.grad * exponent * B.power(self.data, exponent - 1))
 
-        return self._make(self.data ** exponent, (self,), backward)
+        return self._make(B.power(self.data, exponent), (self,), backward)
+
+    def __rpow__(self, base) -> "Tensor":
+        return self._lift(base) ** self
 
     def __matmul__(self, other) -> "Tensor":
         other = self._lift(other)
+        B = _backend()
 
         def backward(out: Tensor) -> None:
             g = out.grad
@@ -249,12 +292,13 @@ class Tensor:
                 self._accumulate(_unbroadcast(g[..., :, None] * b, a.shape))
                 other._accumulate(_unbroadcast((a * g[..., :, None]).sum(axis=tuple(range(a.ndim - 1))), b.shape))
                 return
-            ga = g @ np.swapaxes(b, -1, -2)
-            gb = np.swapaxes(a, -1, -2) @ g
+            ga = B.matmul(g, B.swapaxes(b, -1, -2))
+            gb = B.matmul(B.swapaxes(a, -1, -2), g)
             self._accumulate(_unbroadcast(ga, a.shape))
             other._accumulate(_unbroadcast(gb, b.shape))
 
-        return self._make(self.data @ other.data, (self, other), backward)
+        return self._make(B.matmul(self.data, other.data),
+                          (self, other), backward)
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -262,11 +306,12 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        B = _backend()
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad.reshape(self.shape))
+            self._accumulate(B.reshape(out.grad, self.shape))
 
-        return self._make(self.data.reshape(shape), (self,), backward)
+        return self._make(B.reshape(self.data, shape), (self,), backward)
 
     def transpose(self, *axes) -> "Tensor":
         if not axes:
@@ -274,30 +319,35 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         inverse = np.argsort(axes)
+        B = _backend()
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad.transpose(inverse))
+            self._accumulate(B.transpose(out.grad, inverse))
 
-        return self._make(self.data.transpose(axes), (self,), backward)
+        return self._make(B.transpose(self.data, axes), (self,), backward)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
-        def backward(out: Tensor) -> None:
-            self._accumulate(np.swapaxes(out.grad, a, b))
+        B = _backend()
 
-        return self._make(np.swapaxes(self.data, a, b), (self,), backward)
+        def backward(out: Tensor) -> None:
+            self._accumulate(B.swapaxes(out.grad, a, b))
+
+        return self._make(B.swapaxes(self.data, a, b), (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
+        B = _backend()
+
         def backward(out: Tensor) -> None:
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, index, out.grad)
+            grad = B.zeros_like(self.data)
+            B.index_add(grad, index, out.grad)
             self._accumulate(grad)
 
-        return self._make(self.data[index], (self,), backward)
+        return self._make(B.take(self.data, index), (self,), backward)
 
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._lift(t) for t in tensors]
-        data = np.concatenate([t.data for t in tensors], axis=axis)
+        data = _backend().concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
 
@@ -313,7 +363,7 @@ class Tensor:
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._lift(t) for t in tensors]
-        data = np.stack([t.data for t in tensors], axis=axis)
+        data = _backend().stack([t.data for t in tensors], axis=axis)
 
         def backward(out: Tensor) -> None:
             for i, t in enumerate(tensors):
@@ -326,13 +376,16 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        B = _backend()
+
         def backward(out: Tensor) -> None:
             grad = out.grad
             if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+                grad = B.expand_dims(grad, axis)
+            self._accumulate(B.broadcast_to(grad, self.shape).copy())
 
-        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+        return self._make(B.sum(self.data, axis=axis, keepdims=keepdims),
+                          (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -341,24 +394,27 @@ class Tensor:
             count = int(np.prod([self.shape[a] for a in axis]))
         else:
             count = self.shape[axis]
+        B = _backend()
 
         def backward(out: Tensor) -> None:
             grad = out.grad
             if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy() / count)
+                grad = B.expand_dims(grad, axis)
+            self._accumulate(B.broadcast_to(grad, self.shape).copy() / count)
 
-        return self._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+        return self._make(B.mean(self.data, axis=axis, keepdims=keepdims),
+                          (self,), backward)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
+        B = _backend()
+        data = B.amax(self.data, axis=axis, keepdims=keepdims)
 
         def backward(out: Tensor) -> None:
             grad = out.grad
             value = data
             if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-                value = np.expand_dims(value, axis)
+                grad = B.expand_dims(grad, axis)
+                value = B.expand_dims(value, axis)
             mask = (self.data == value).astype(np.float64)
             mask /= mask.sum(axis=axis, keepdims=True)
             self._accumulate(mask * grad)
@@ -369,7 +425,7 @@ class Tensor:
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
+        data = _backend().exp(self.data)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * data)
@@ -380,10 +436,10 @@ class Tensor:
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad / self.data)
 
-        return self._make(np.log(self.data), (self,), backward)
+        return self._make(_backend().log(self.data), (self,), backward)
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
+        data = _backend().sqrt(self.data)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * 0.5 / data)
@@ -391,65 +447,65 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def abs(self) -> "Tensor":
-        def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * np.sign(self.data))
+        B = _backend()
 
-        return self._make(np.abs(self.data), (self,), backward)
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * B.sign(self.data))
+
+        return self._make(B.absolute(self.data), (self,), backward)
 
     def relu(self) -> "Tensor":
+        B = _backend()
         mask = self.data > 0
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * mask)
+            self._accumulate(B.relu_grad(out.grad, mask))
 
-        return self._make(self.data * mask, (self,), backward)
+        return self._make(B.relu(self.data, mask), (self,), backward)
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
+        B = _backend()
+        data = B.tanh(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * (1.0 - data ** 2))
+            self._accumulate(B.tanh_grad(out.grad, data))
 
         return self._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        B = _backend()
+        data = B.sigmoid(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * data * (1.0 - data))
+            self._accumulate(B.sigmoid_grad(out.grad, data))
 
         return self._make(data, (self,), backward)
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
+        B = _backend()
         x = self.data
-        c = np.sqrt(2.0 / np.pi)
-        inner = c * (x + 0.044715 * x ** 3)
-        t = np.tanh(inner)
-        data = 0.5 * x * (1.0 + t)
 
         def backward(out: Tensor) -> None:
-            dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
-            local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner
-            self._accumulate(out.grad * local)
+            self._accumulate(B.gelu_grad(out.grad, x))
 
-        return self._make(data, (self,), backward)
+        return self._make(B.gelu(x), (self,), backward)
 
     def clip(self, lo: float, hi: float) -> "Tensor":
+        B = _backend()
         mask = (self.data >= lo) & (self.data <= hi)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * mask)
 
-        return self._make(np.clip(self.data, lo, hi), (self,), backward)
+        return self._make(B.clip(self.data, lo, hi), (self,), backward)
 
     # ------------------------------------------------------------------
     # Softmax family (implemented as primitives for stability)
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        e = np.exp(shifted)
-        data = e / e.sum(axis=axis, keepdims=True)
+        B = _backend()
+        data = B.softmax(self.data, axis=axis)
 
         def backward(out: Tensor) -> None:
             g = out.grad
@@ -459,10 +515,9 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        data = shifted - log_z
-        soft = np.exp(data)
+        B = _backend()
+        data = B.log_softmax(self.data, axis=axis)
+        soft = B.exp(data)
 
         def backward(out: Tensor) -> None:
             g = out.grad

@@ -1,0 +1,172 @@
+"""Seed-stacking (vmap-style) transform over parameter trees.
+
+A sweep cell re-fits the *same* model config under K seeds.  Running
+those as K processes repeats every matmul K times at unbatched sizes;
+:func:`stack_modules` instead fuses K structurally identical module
+trees into ONE tree whose parameters carry a leading seed axis, so a
+single tensor program trains all K fits at once — NumPy's batched
+matmul and broadcasting do the vectorisation, and per-slice results are
+bit-identical to the unbatched ops (pinned by ``tests/test_stacked.py``).
+
+The transform is *structural*, not symbolic: the stacked tree reuses the
+original module classes' ``forward`` unchanged.  That works because the
+forwards are written against broadcasting ops — ``x @ W + b`` with
+``W: (K, in, out)`` and ``b: (K, 1, out)`` batches over the seed axis
+for free.  A per-``(module class, attribute)`` rule table says how each
+parameter gains its seed axis (and how to take it back off); classes
+without rules fail loudly rather than stack wrongly.
+
+Models opt in via ``supports_stacked_fit`` /
+``fit_stacked`` (see :class:`repro.models.base.GraphGenerativeModel`);
+the sweep scheduler collapses eligible grid cells through this path.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .layers import LayerNorm, Linear, Module, Parameter
+
+__all__ = ["StackedModules", "stack_modules", "unstack_state_dict",
+           "register_stack_rule"]
+
+
+class StackRule:
+    """How one parameter kind gains / loses its leading seed axis."""
+
+    __slots__ = ("stack", "unstack")
+
+    def __init__(self, stack: Callable[[Sequence[np.ndarray]], np.ndarray],
+                 unstack: Callable[[np.ndarray, int], np.ndarray]):
+        self.stack = stack
+        self.unstack = unstack
+
+
+def _plain(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    return np.stack(arrays)
+
+
+def _row(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """(d,) -> (K, 1, d): broadcasts against (K, N, d) activations."""
+    return np.stack(arrays)[:, None, :]
+
+
+_RULES: dict[tuple[type, str], StackRule] = {}
+
+
+def register_stack_rule(cls: type, attr: str,
+                        stack: Callable[[Sequence[np.ndarray]], np.ndarray],
+                        unstack: Callable[[np.ndarray, int], np.ndarray]
+                        | None = None) -> None:
+    """Declare how ``cls.attr`` parameters stack along the seed axis.
+
+    ``stack`` maps K same-shape arrays to one stacked array whose axis 0
+    is the seed; ``unstack(stacked, i)`` recovers seed ``i``'s array
+    (default: take slice ``i`` and drop injected size-1 axes by
+    reshaping to the original shape — callers pass the original shape).
+    """
+    if unstack is None:
+        unstack = lambda stacked, i: stacked[i]
+    _RULES[(cls, attr)] = StackRule(stack, unstack)
+
+
+register_stack_rule(Linear, "weight", _plain)
+register_stack_rule(Linear, "bias", _row)
+register_stack_rule(LayerNorm, "gamma", _row)
+register_stack_rule(LayerNorm, "beta", _row)
+
+
+def _find_rule(cls: type, attr: str) -> StackRule:
+    for klass in cls.__mro__:
+        rule = _RULES.get((klass, attr))
+        if rule is not None:
+            return rule
+    raise NotImplementedError(
+        f"no seed-stack rule for {cls.__name__}.{attr}; declare one with "
+        "repro.nn.vmap.register_stack_rule before stacking this module")
+
+
+def _stack_tree(modules: Sequence[Module]) -> Module:
+    """Mirror ``modules[0]``'s tree with seed-stacked parameters."""
+    head = modules[0]
+    cls = type(head)
+    for other in modules[1:]:
+        if type(other) is not cls:
+            raise TypeError(f"cannot stack {cls.__name__} with "
+                            f"{type(other).__name__}")
+    clone = copy.copy(head)
+    for attr, value in vars(head).items():
+        if isinstance(value, Parameter):
+            rule = _find_rule(cls, attr)
+            for other in modules[1:]:
+                if getattr(other, attr).shape != value.shape:
+                    raise ValueError(f"{cls.__name__}.{attr} shapes differ "
+                                     "across seeds — configs not identical?")
+            setattr(clone, attr, Parameter(
+                rule.stack([getattr(m, attr).data for m in modules]),
+                name=value.name))
+        elif isinstance(value, Module):
+            setattr(clone, attr,
+                    _stack_tree([getattr(m, attr) for m in modules]))
+        elif isinstance(value, (list, tuple)):
+            items = []
+            for i, item in enumerate(value):
+                if isinstance(item, Module):
+                    items.append(
+                        _stack_tree([getattr(m, attr)[i] for m in modules]))
+                elif isinstance(item, Parameter):
+                    raise NotImplementedError(
+                        "bare Parameter lists are not stackable; wrap them "
+                        "in a Module with stack rules")
+                else:
+                    items.append(item)
+            setattr(clone, attr, type(value)(items))
+        # plain attributes (dims, eps, rng handles...) stay shared views
+    return clone
+
+
+class StackedModules(Module):
+    """K structurally identical modules fused along a leading seed axis.
+
+    Calling the stacked tree runs the original forward once over batched
+    parameters; :meth:`state_dict_for` recovers seed ``i``'s parameters
+    in the exact layout the unstacked module uses, byte-identical to
+    what a separate per-seed fit would have produced.
+    """
+
+    def __init__(self, modules: Sequence[Module]):
+        super().__init__()
+        modules = list(modules)
+        if not modules:
+            raise ValueError("need at least one module to stack")
+        self.num_seeds = len(modules)
+        self.module = _stack_tree(modules)
+        self._shapes = {name: param.shape
+                        for name, param in modules[0].named_parameters()}
+
+    def forward(self, *args, **kwargs):
+        return self.module(*args, **kwargs)
+
+    def state_dict_for(self, index: int) -> dict[str, np.ndarray]:
+        """Seed ``index``'s parameters, reshaped to the unstacked layout."""
+        if not 0 <= index < self.num_seeds:
+            raise IndexError(f"seed index {index} out of range "
+                             f"[0, {self.num_seeds})")
+        stacked = dict(self.module.named_parameters())
+        return {name: np.ascontiguousarray(
+                    stacked[name].data[index]).reshape(shape).copy()
+                for name, shape in self._shapes.items()}
+
+
+def stack_modules(modules: Sequence[Module]) -> StackedModules:
+    """Fuse K same-architecture modules into one seed-stacked tree."""
+    return StackedModules(modules)
+
+
+def unstack_state_dict(stacked: StackedModules,
+                       index: int) -> dict[str, np.ndarray]:
+    """Functional alias for :meth:`StackedModules.state_dict_for`."""
+    return stacked.state_dict_for(index)

@@ -1,0 +1,117 @@
+"""Stacked per-seed RNG streams for vmap-style multi-seed fits.
+
+A seed-stacked fit (see :mod:`repro.nn.vmap`) trains K same-config
+models as one tensor program with a leading seed axis.  Reproducibility
+demands that seed ``k``'s slice consumes *exactly* the draw sequence the
+per-seed fit would have consumed from its own generator — same draws,
+same order, and the generator left in the same final state so the
+post-fit ``generate(rng)`` stream continues identically.
+
+:class:`StackedRNG` delivers that: it wraps the K per-seed
+``np.random.Generator`` objects and serves each batched request by
+drawing the *unbatched* shape from every generator in seed order,
+stacking the results along axis 0.  The wrapped generators are mutated
+in place, so after the fit each seed's generator is byte-equal to the
+one a sequential fit would hand to ``generate``.
+
+Checkpointing rides the existing machinery: ``TrainState.save`` snapshots
+``rng.bit_generator.state`` and ``restore`` assigns it back.
+:class:`StackedRNG` exposes a duck-typed :attr:`bit_generator` whose
+``state`` property fans out to the K underlying bit generators — a
+stacked fit checkpoints and resumes through the untouched
+:class:`~repro.train.Trainer` loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["StackedRNG", "stacked_step_rng"]
+
+#: marker distinguishing a stacked RNG snapshot from a plain PCG64 state
+STACKED_STATE_KEY = "stacked_rng_states"
+
+
+class _StackedBitGenerator:
+    """Duck-typed ``bit_generator`` fanning state across K generators."""
+
+    __slots__ = ("_rngs",)
+
+    def __init__(self, rngs: Sequence[np.random.Generator]):
+        self._rngs = rngs
+
+    @property
+    def state(self) -> dict:
+        return {STACKED_STATE_KEY: [rng.bit_generator.state
+                                    for rng in self._rngs]}
+
+    @state.setter
+    def state(self, value: dict) -> None:
+        states = value[STACKED_STATE_KEY]
+        if len(states) != len(self._rngs):
+            raise ValueError(f"checkpoint carries {len(states)} RNG states "
+                             f"for a {len(self._rngs)}-seed stacked fit")
+        for rng, st in zip(self._rngs, states):
+            rng.bit_generator.state = st
+
+
+class StackedRNG:
+    """K per-seed generators behind one batched-draw interface.
+
+    Every draw method takes the *stacked* shape ``(K, ...)`` and returns
+    seed-ordered draws of the unbatched tail shape, one per wrapped
+    generator — slice ``k`` of the result is bit-equal to what generator
+    ``k`` alone would have produced.  Generators are consumed in place.
+    """
+
+    def __init__(self, rngs: Sequence[np.random.Generator]):
+        self.rngs = list(rngs)
+        if not self.rngs:
+            raise ValueError("StackedRNG needs at least one generator")
+        self.bit_generator = _StackedBitGenerator(self.rngs)
+
+    def __len__(self) -> int:
+        return len(self.rngs)
+
+    def _check(self, shape) -> tuple[int, ...]:
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        if not shape or shape[0] != len(self.rngs):
+            raise ValueError(f"stacked draw shape {shape} must lead with "
+                             f"the seed axis K={len(self.rngs)}")
+        return shape[1:]
+
+    def standard_normal(self, shape) -> np.ndarray:
+        tail = self._check(shape)
+        return np.stack([rng.standard_normal(tail) for rng in self.rngs])
+
+    def normal(self, loc=0.0, scale=1.0, size=None) -> np.ndarray:
+        tail = self._check(size)
+        return np.stack([rng.normal(loc, scale, tail) for rng in self.rngs])
+
+    def random(self, shape) -> np.ndarray:
+        tail = self._check(shape)
+        return np.stack([rng.random(tail) for rng in self.rngs])
+
+    def uniform(self, low=0.0, high=1.0, size=None) -> np.ndarray:
+        tail = self._check(size)
+        return np.stack([rng.uniform(low, high, tail) for rng in self.rngs])
+
+    def integers(self, low, high=None, size=None) -> np.ndarray:
+        tail = self._check(size)
+        return np.stack([rng.integers(low, high, tail) for rng in self.rngs])
+
+
+def stacked_step_rng(seeds: Sequence[int], epoch: int,
+                     step: int = 0) -> StackedRNG:
+    """Per-``(seed, epoch, step)`` streams, one per stacked seed.
+
+    The stacked twin of :func:`repro.train.step_rng`: seed ``k``'s
+    stream is exactly ``step_rng(seeds[k], epoch, step)``, so a stacked
+    task using order-independent per-step streams reproduces each
+    per-seed fit's draws without sharing a sequential generator.
+    """
+    from .trainer import step_rng
+
+    return StackedRNG([step_rng(seed, epoch, step) for seed in seeds])

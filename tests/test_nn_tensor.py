@@ -116,9 +116,25 @@ class TestArithmeticGradients:
         x = Tensor(np.abs(rng.normal(size=4)) + 0.5, requires_grad=True)
         check_gradients(lambda: (x ** 3).sum(), [x])
 
-    def test_pow_rejects_tensor_exponent(self, rng):
-        with pytest.raises(TypeError):
-            _rand(rng, 2) ** _rand(rng, 2)
+    def test_pow_tensor_exponent(self, rng):
+        base = Tensor(np.abs(rng.normal(size=4)) + 0.5, requires_grad=True)
+        exponent = _rand(rng, 4)
+        check_gradients(lambda: (base ** exponent).sum(), [base, exponent])
+
+    def test_pow_numpy_scalar_exponent(self, rng):
+        x = Tensor(np.abs(rng.normal(size=4)) + 0.5, requires_grad=True)
+        check_gradients(lambda: (x ** np.float64(2.5)).sum(), [x])
+        check_gradients(lambda: (x ** np.int64(3)).sum(), [x])
+
+    def test_rpow(self, rng):
+        exponent = _rand(rng, 3)
+        check_gradients(lambda: (2.0 ** exponent).sum(), [exponent])
+
+    def test_pow_rejects_non_numeric_exponent(self, rng):
+        with pytest.raises(TypeError, match="exponent"):
+            _rand(rng, 2) ** "2"
+        with pytest.raises(TypeError, match="exponent"):
+            _rand(rng, 2) ** [1.0, 2.0]
 
 
 class TestMatmulGradients:
