@@ -11,6 +11,14 @@ Commands
                optionally self-hosting local workers; ``--status
                <queue_dir>`` prints a read-only queue dashboard instead
 ``worker``     drain a sweep queue (run one per core / per host)
+``serve``      long-lived generation daemon over the artifact cache:
+               continuous-batching walk decode, model LRU, bounded
+               admission queue (see README "Serving")
+
+``generate`` and ``evaluate`` also accept ``--server URL`` to route the
+request to a running ``repro serve`` daemon instead of executing
+locally.  Both ``serve`` and ``worker --keep-alive`` shut down
+gracefully on SIGTERM/SIGINT: in-flight work drains before exit.
 
 Every model run routes through the experiment API
 (:class:`repro.experiments.Runner`): models are built from the registry
@@ -84,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("generate", "evaluate"):
         cmd = sub.add_parser(name, help=f"{name} a model on a dataset")
         _add_run_arguments(cmd)
+        cmd.add_argument("--server", default=None, metavar="URL",
+                         help="route the request to a running `repro "
+                              "serve` daemon (the spec must already be "
+                              "fitted in the daemon's cache)")
+        if name == "generate":
+            cmd.add_argument("--walks", type=int, default=64,
+                             help="walks to request in --server mode")
+            cmd.add_argument("--length", type=int, default=None,
+                             help="walk length in --server mode "
+                                  "(default: the model's walk length)")
 
     aug = sub.add_parser("augment", help="Figure 6 augmentation study")
     # The augmentation study measures classification accuracy, which
@@ -157,6 +175,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the autogenerated worker identity")
     wrk.add_argument("--surrogate-labels", default=True,
                      action=argparse.BooleanOptionalAction)
+
+    srv = sub.add_parser(
+        "serve", help="long-lived generation daemon with "
+                      "continuous-batching walk decode")
+    srv.add_argument("--cache-dir", required=True,
+                     help="artifact cache holding the fitted "
+                          "<key>.model.npz archives to serve")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8777,
+                     help="listen port (0: pick a free port)")
+    srv.add_argument("--max-models", type=int, default=4,
+                     help="resident-model LRU capacity")
+    srv.add_argument("--max-walks", type=int, default=256,
+                     help="walk rows resident per decode batch")
+    srv.add_argument("--max-inflight", type=int, default=8,
+                     help="target concurrently decoding requests")
+    srv.add_argument("--queue-depth", type=int, default=16,
+                     help="requests allowed to wait beyond --max-inflight "
+                          "before 429")
+    srv.add_argument("--request-timeout", type=float, default=120.0,
+                     help="per-request decode deadline in seconds")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log every HTTP request")
     return parser
 
 
@@ -216,6 +257,20 @@ def _cmd_models(_args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    if args.server:
+        from .serve.client import ServeClient, ServeClientError
+
+        key = _spec(args).cache_key()
+        client = ServeClient(args.server, retries=3)
+        try:
+            walks = client.generate(key, args.walks, length=args.length,
+                                    seed=args.seed)
+        except ServeClientError as exc:
+            raise SystemExit(f"server error ({exc.status}): {exc}") from exc
+        print(f"model={key} server={args.server}")
+        print(f"walks: {walks.shape[0]} x {walks.shape[1]}  "
+              f"nodes visited: {np.unique(walks).size}")
+        return 0
     runner = _runner(args)
     result = _run(runner, args, need_model=False)
     data = runner.dataset(args.dataset)
@@ -230,8 +285,16 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    result = _run(_runner(args), args, with_metrics=True)
-    metrics = result.metrics
+    if args.server:
+        from .serve.client import ServeClient, ServeClientError
+
+        key = _spec(args).cache_key()
+        try:
+            metrics = ServeClient(args.server).evaluate(key)["metrics"]
+        except ServeClientError as exc:
+            raise SystemExit(f"server error ({exc.status}): {exc}") from exc
+    else:
+        metrics = _run(_runner(args), args, with_metrics=True).metrics
     rows = [[name, f"{metrics['overall'][name]:.4f}"]
             for name in METRIC_NAMES]
     rows.append(["mean R", f"{metrics['overall_mean']:.4f}"])
@@ -427,14 +490,68 @@ def _scoreboard_table(board: list[dict]) -> str:
                          "mean R", "mean R+"], rows)
 
 
+def _install_drain_handler(on_signal) -> None:
+    """SIGTERM/SIGINT call ``on_signal`` once; a second signal kills.
+
+    The first signal requests a graceful drain (finish in-flight work,
+    then exit); an operator who cannot wait sends the signal again and
+    gets the default die-now behaviour back.
+    """
+    import signal
+
+    def handler(signum, _frame):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        on_signal(signum)
+
+    signal.signal(signal.SIGTERM, handler)
+    signal.signal(signal.SIGINT, handler)
+
+
 def _cmd_worker(args) -> int:
+    import threading
+
     worker = Worker(args.queue_dir, args.cache_dir,
                     worker_id=args.worker_id,
                     allow_surrogate=args.surrogate_labels)
+    stop = threading.Event()
+
+    def on_signal(signum):
+        print(f"worker {worker.worker_id}: signal {signum}, finishing "
+              "current job then exiting", flush=True)
+        stop.set()
+
+    _install_drain_handler(on_signal)
     stats = worker.run(max_jobs=args.max_jobs, keep_alive=args.keep_alive,
-                       poll_interval=args.poll)
+                       poll_interval=args.poll, stop=stop)
     print(f"worker {worker.worker_id}: {stats['completed']} completed, "
           f"{stats['failed']} failed, {stats['lost']} lost")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import threading
+
+    from .serve.daemon import ServeDaemon
+
+    daemon = ServeDaemon(args.cache_dir, host=args.host, port=args.port,
+                         max_models=args.max_models,
+                         max_walks=args.max_walks,
+                         max_inflight=args.max_inflight,
+                         queue_depth=args.queue_depth,
+                         request_timeout=args.request_timeout,
+                         verbose=args.verbose)
+    stop = threading.Event()
+    _install_drain_handler(lambda signum: stop.set())
+    daemon.start()
+    # The subprocess tests (and humans scripting the daemon) parse this
+    # line for the bound address, so --port 0 is usable.
+    print(f"serving on {daemon.url} (cache: {args.cache_dir})", flush=True)
+    stop.wait()
+    print("draining in-flight requests...", flush=True)
+    daemon.shutdown()
+    print("served "
+          f"{daemon.admission.completed} request(s); bye", flush=True)
     return 0
 
 
@@ -446,6 +563,7 @@ _COMMANDS = {
     "augment": _cmd_augment,
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
 }
 
 

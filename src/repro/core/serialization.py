@@ -91,12 +91,19 @@ def can_serialize(model: GraphGenerativeModel) -> bool:
     return _MODEL_CLASSES.get(type(model).__name__) is type(model)
 
 
-def save_model(model: GraphGenerativeModel, path: str | os.PathLike) -> None:
-    """Serialise any fitted registry model to a compressed ``.npz``.
+def save_model(model: GraphGenerativeModel, path: str | os.PathLike, *,
+               compress: bool = True) -> None:
+    """Serialise any fitted registry model to an ``.npz`` archive.
 
     The archive records the model class, its display ``name`` (FairGen
     ablation variants share one class), the ``config_dict`` constructor
     parameters and the flat ``state_dict`` arrays.
+
+    ``compress=False`` stores the arrays uncompressed (``ZIP_STORED``),
+    which is what lets ``load_model(..., mmap=True)`` map the weight
+    arrays straight off disk — the layout the serving daemon's model
+    LRU wants.  Compressed archives stay the default for the experiment
+    cache, where disk footprint wins.
     """
     if not model.is_fitted:
         raise ValueError("only fitted models can be saved")
@@ -113,26 +120,102 @@ def save_model(model: GraphGenerativeModel, path: str | os.PathLike) -> None:
     }
     for name, value in model.state_dict().items():
         payload[f"state/{name}"] = np.asarray(value)
-    np.savez_compressed(path, **payload)
+    if compress:
+        np.savez_compressed(path, **payload)
+    else:
+        np.savez(path, **payload)
 
 
-def load_model(path: str | os.PathLike,
-               graph: Graph) -> GraphGenerativeModel:
+def _mmap_npz(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
+    """Map every array of an uncompressed ``.npz`` straight off disk.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the mmap request
+    for zip archives, so this maps the members by hand: for each
+    ``ZIP_STORED`` member it locates the raw ``.npy`` payload via the
+    member's local file header, parses the ``.npy`` header for dtype
+    and shape, and wraps the data region in a read-only
+    :class:`numpy.memmap`.  Returns ``None`` when the archive cannot be
+    mapped (compressed members, object or Fortran-order arrays) so the
+    caller can fall back to a normal in-memory load.
+    """
+    import zipfile
+
+    from numpy.lib import format as npy_format
+
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf:
+        for info in zf.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            # Resolve the payload offset from the member's *local* file
+            # header (its name/extra lengths may differ from the central
+            # directory's copy).
+            with open(path, "rb") as raw:
+                raw.seek(info.header_offset)
+                local = raw.read(30)
+            if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            data_start = info.header_offset + 30 + name_len + extra_len
+            with zf.open(info.filename) as member:
+                version = npy_format.read_magic(member)
+                if version == (1, 0):
+                    shape, fortran, dtype = \
+                        npy_format.read_array_header_1_0(member)
+                elif version == (2, 0):
+                    shape, fortran, dtype = \
+                        npy_format.read_array_header_2_0(member)
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                offset = data_start + member.tell()
+            key = info.filename.removesuffix(".npy")
+            arrays[key] = np.memmap(path, dtype=dtype, mode="r",
+                                    offset=offset, shape=shape)
+    return arrays
+
+
+def load_model(path: str | os.PathLike, graph: Graph, *,
+               mmap: bool = False) -> GraphGenerativeModel:
     """Restore a model saved by :func:`save_model` for inference.
 
     ``graph`` must be the graph the model was fitted on (generation
     needs its size, edge count and — for FairGen — protected volume).
+
+    With ``mmap=True`` the weight arrays of an uncompressed archive
+    (``save_model(..., compress=False)``) are memory-mapped read-only
+    instead of copied into the heap, so a serving process can keep many
+    models resident for the cost of the page cache.  The restored
+    parameters alias the mapping and are therefore immutable — the
+    model can generate and score but any attempt to train it raises.
+    Compressed archives fall back to a normal in-memory load.
     """
-    with np.load(path) as archive:
-        if "format" not in archive or "header_json" not in archive:
+    mapped = _mmap_npz(path) if mmap else None
+    if mapped is not None:
+        if "format" not in mapped or "header_json" not in mapped:
             raise ValueError(f"{path} is not a model archive")
-        fmt = archive["format"].tobytes().decode()
+        fmt = np.asarray(mapped["format"]).tobytes().decode()
         if fmt != MODEL_FORMAT:
             raise ValueError(f"{path}: unsupported model archive "
                              f"format {fmt!r}")
-        header = json.loads(archive["header_json"].tobytes().decode())
-        state = {name.removeprefix("state/"): archive[name]
-                 for name in archive.files if name.startswith("state/")}
+        header = json.loads(
+            np.asarray(mapped["header_json"]).tobytes().decode())
+        state = {name.removeprefix("state/"): value
+                 for name, value in mapped.items()
+                 if name.startswith("state/")}
+    else:
+        with np.load(path) as archive:
+            if "format" not in archive or "header_json" not in archive:
+                raise ValueError(f"{path} is not a model archive")
+            fmt = archive["format"].tobytes().decode()
+            if fmt != MODEL_FORMAT:
+                raise ValueError(f"{path}: unsupported model archive "
+                                 f"format {fmt!r}")
+            header = json.loads(archive["header_json"].tobytes().decode())
+            state = {name.removeprefix("state/"): archive[name]
+                     for name in archive.files if name.startswith("state/")}
 
     cls = _MODEL_CLASSES.get(header["class"])
     if cls is None:

@@ -713,7 +713,10 @@ class Runner:
             # satisfy need_model=True runs with zero refits.  Custom
             # registry models outside the serialisable set degrade to
             # graph-only caching (need_model then refits as before).
-            save_model(result.model, model_path)
+            # Stored uncompressed so the serving daemon's model LRU can
+            # mmap the weights instead of copying them per process
+            # (load_model(mmap=True); weights barely compress anyway).
+            save_model(result.model, model_path, compress=False)
         self._write_metadata(spec, result)
         # The finished artifacts supersede any mid-fit checkpoint.
         self.checkpoint_path(spec).unlink(missing_ok=True)

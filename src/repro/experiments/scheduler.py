@@ -566,7 +566,8 @@ class Worker:
 
     # ------------------------------------------------------------------
     def run(self, *, max_jobs: int | None = None, keep_alive: bool = False,
-            poll_interval: float = 0.2) -> dict[str, int]:
+            poll_interval: float = 0.2,
+            stop: threading.Event | None = None) -> dict[str, int]:
         """Drain the queue; returns per-outcome attempt counts.
 
         ``completed`` and ``failed`` (terminal) describe finished jobs;
@@ -578,16 +579,28 @@ class Worker:
         ``keep_alive`` keeps polling an empty queue instead — the mode a
         standing multi-host fleet runs in, picking up work the moment a
         submitter enqueues it.
+
+        ``stop`` is the graceful-shutdown channel: once set (e.g. by a
+        SIGTERM handler), the worker finishes the job it is executing —
+        its artifacts land and its lease completes normally — claims
+        nothing further, and returns.  Without it, terminating a
+        keep-alive worker means killing it mid-job and paying a lease
+        timeout before another worker can pick the job up.
         """
         stats = {"completed": 0, "failed": 0, "requeued": 0, "lost": 0}
         executed = 0
         while max_jobs is None or executed < max_jobs:
+            if stop is not None and stop.is_set():
+                break
             self.queue.recover()
             job = self.queue.claim(self.worker_id)
             if job is None:
                 if self.queue.drained() and not keep_alive:
                     break
-                time.sleep(poll_interval)
+                if stop is not None:
+                    stop.wait(poll_interval)
+                else:
+                    time.sleep(poll_interval)
                 continue
             executed += 1
             stats[self._execute(job)] += 1

@@ -63,20 +63,51 @@ class LayerKVCache:
     :class:`repro.nn.inference.WalkDecoder`, which knows the maximum
     session length up front).  Without it, buffers grow by
     concatenation.
+
+    **Row-level serving mode.**  The continuous-batching engine
+    (:mod:`repro.serve.engine`) coalesces walk requests of different
+    lengths into one decode batch, so a serving-side cache is *ragged*:
+    each row has its own number of valid positions.  Three row-level
+    primitives support this: :meth:`append_cache` transplants another
+    cache's rows onto the end of this one (admitting a freshly prefilled
+    request), :meth:`gather_rows` keeps only the given rows (evicting
+    finished walks and compacting the batch), and :meth:`append_ragged`
+    appends one position per row at that row's own offset.  Per-row
+    validity lives in :attr:`row_lengths`; the uniform (single
+    ``length``) mode of :meth:`append` is unchanged.
     """
 
-    __slots__ = ("_k", "_v", "_length", "capacity")
+    __slots__ = ("_k", "_v", "_length", "capacity", "_row_lengths")
 
     def __init__(self, capacity: int | None = None) -> None:
         self._k: np.ndarray | None = None
         self._v: np.ndarray | None = None
         self._length = 0
         self.capacity = capacity
+        self._row_lengths: np.ndarray | None = None
 
     @property
     def length(self) -> int:
-        """Number of cached positions."""
+        """Number of cached positions (the maximum across rows when the
+        cache is ragged)."""
         return self._length
+
+    @property
+    def num_rows(self) -> int:
+        """Number of batch rows currently held."""
+        return 0 if self._k is None else self._k.shape[0]
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Valid positions per row, ``(B,)`` int64.
+
+        Uniform caches report ``length`` for every row; ragged caches
+        (built through the row-level primitives) track each row
+        separately.
+        """
+        if self._row_lengths is not None:
+            return self._row_lengths
+        return np.full(self.num_rows, self._length, dtype=np.int64)
 
     @property
     def k(self) -> np.ndarray | None:
@@ -110,6 +141,91 @@ class LayerKVCache:
             self._v = np.concatenate([self._v, v_new], axis=2)
         self._length += steps
         return self.k, self.v
+
+    # ------------------------------------------------------------------
+    # Row-level primitives (continuous-batching serving mode)
+    # ------------------------------------------------------------------
+    def append_cache(self, donor: "LayerKVCache") -> None:
+        """Transplant ``donor``'s rows onto the end of this cache.
+
+        ``donor`` is a freshly prefilled per-request cache (uniform
+        length, preallocated at the same ``capacity``); its rows join
+        this cache's batch with their own per-row length.  This is the
+        admission path of the continuous batcher: prefill a request in
+        isolation, then splice its K/V rows into the shared batch.
+        """
+        if donor._k is None or donor.capacity is None:
+            raise ValueError("donor cache must be preallocated (capacity "
+                             "mode) and non-empty")
+        if self.capacity is None:
+            raise ValueError("row-level cache ops need capacity mode")
+        if donor.capacity != self.capacity:
+            raise ValueError(f"donor capacity {donor.capacity} != "
+                             f"{self.capacity}")
+        lengths = donor.row_lengths
+        if self._k is None:
+            self._k = donor._k.copy()
+            self._v = donor._v.copy()
+            self._row_lengths = lengths.copy()
+        else:
+            own_lengths = self.row_lengths  # BEFORE the batch axis grows
+            self._k = np.concatenate([self._k, donor._k], axis=0)
+            self._v = np.concatenate([self._v, donor._v], axis=0)
+            self._row_lengths = np.concatenate([own_lengths, lengths])
+        self._length = int(self._row_lengths.max())
+
+    def gather_rows(self, rows: np.ndarray) -> None:
+        """Keep only ``rows`` (in order): evict finished walks, compact.
+
+        ``rows`` indexes the current batch axis; an empty selection
+        resets the cache to its pristine state so a later
+        :meth:`append_cache` starts a fresh batch.
+        """
+        if self._k is None:
+            raise ValueError("cache holds no rows to gather")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            self._k = self._v = None
+            self._row_lengths = None
+            self._length = 0
+            return
+        self._k = self._k[rows]
+        self._v = self._v[rows]
+        self._row_lengths = self.row_lengths[rows]
+        self._length = int(self._row_lengths.max())
+
+    def append_ragged(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Append ONE position per row at each row's own offset.
+
+        ``k_new``/``v_new`` are ``(B, H, 1, d)`` — the decode-step
+        projections of a ragged batch.  Row ``i``'s new position lands
+        at its current ``row_lengths[i]``; lengths advance by one.
+        """
+        if self._k is None:
+            raise ValueError("append_cache rows before append_ragged")
+        batch = self._k.shape[0]
+        if k_new.shape[0] != batch or k_new.shape[2] != 1:
+            raise ValueError(f"expected ({batch}, H, 1, d) step arrays, "
+                             f"got {k_new.shape}")
+        lengths = self.row_lengths
+        if self._row_lengths is None:
+            self._row_lengths = lengths
+        if int(lengths.max()) >= self.capacity:
+            raise ValueError("KV cache capacity exceeded")
+        idx = np.arange(batch)
+        self._k[idx, :, lengths] = k_new[:, :, 0]
+        self._v[idx, :, lengths] = v_new[:, :, 0]
+        self._row_lengths = lengths + 1
+        self._length = int(self._row_lengths.max())
+
+    def rows_view(self, start: int, stop: int,
+                  length: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(k, v)`` views of rows ``start:stop`` truncated to
+        ``length`` positions — the exact per-request attention window of
+        one continuous-batching group (all rows of one request share a
+        length, so no padding is ever materialised)."""
+        return (self._k[start:stop, :, :length],
+                self._v[start:stop, :, :length])
 
 
 class MultiHeadSelfAttention(Module):

@@ -75,6 +75,25 @@ class _BlockWeights:
         self.dim = attn.dim
 
 
+class _WalkWeights:
+    """Raw parameter views of a whole :class:`TransformerWalkModel`.
+
+    Shared by :class:`WalkDecoder` (single-session decode) and the
+    continuous-batching engine (:mod:`repro.serve.engine`), which walks
+    the same arrays with per-request attention groups.
+    """
+
+    __slots__ = ("embed", "positions", "blocks", "final_norm", "head")
+
+    def __init__(self, model) -> None:
+        self.embed = model.embed.weight.data
+        self.positions = model._positions
+        self.blocks = [_BlockWeights(b) for b in model.blocks]
+        self.final_norm = (model.final_norm.gamma.data,
+                           model.final_norm.beta.data, model.final_norm.eps)
+        self.head = (model.head.weight.data, model.head.bias.data)
+
+
 class WalkDecoder:
     """KV-cached incremental decoder for one sampling session.
 
@@ -92,22 +111,34 @@ class WalkDecoder:
     """
 
     def __init__(self, model) -> None:
-        self._embed = model.embed.weight.data
-        self._positions = model._positions
-        self._blocks = [_BlockWeights(b) for b in model.blocks]
-        self._final_norm = (model.final_norm.gamma.data,
-                            model.final_norm.beta.data, model.final_norm.eps)
-        self._head = (model.head.weight.data, model.head.bias.data)
+        weights = _WalkWeights(model)
+        self._embed = weights.embed
+        self._positions = weights.positions
+        self._blocks = weights.blocks
+        self._final_norm = weights.final_norm
+        self._head = weights.head
         # Preallocated at the session maximum: decode steps write into
         # the cache buffers instead of reallocating them every token.
         self._caches = [LayerKVCache(capacity=self._positions.shape[0])
                         for _ in model.blocks]
         self._length = 0
+        self._batch: int | None = None
 
     @property
     def length(self) -> int:
         """Number of positions decoded so far (prompt included)."""
         return self._length
+
+    @property
+    def batch_size(self) -> int | None:
+        """Batch size frozen at prefill (``None`` before prefill)."""
+        return self._batch
+
+    @property
+    def caches(self) -> list[LayerKVCache]:
+        """The per-layer KV caches (the serving engine transplants their
+        rows into its shared batch via ``LayerKVCache.append_cache``)."""
+        return self._caches
 
     # ------------------------------------------------------------------
     def _forward(self, tokens: np.ndarray,
@@ -159,6 +190,11 @@ class WalkDecoder:
         if self._length:
             raise RuntimeError("prefill must be the first decoder call")
         tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2 or tokens.shape[0] == 0 or tokens.shape[1] == 0:
+            raise ValueError(
+                f"prefill expects a non-empty (B, T) prompt, got shape "
+                f"{tokens.shape}")
+        self._batch = tokens.shape[0]
         return self._forward(tokens, causal_mask(tokens.shape[1]))
 
     def step(self, next_ids: np.ndarray) -> np.ndarray:
@@ -166,8 +202,20 @@ class WalkDecoder:
 
         No mask is needed: the single new query may attend to every
         cached position.  Returns the next ``(B, vocab)`` logits.
+
+        The batch size is frozen at prefill — the KV caches hold one row
+        per walk — so a mismatched ``next_ids`` is rejected here with a
+        clear error instead of surfacing as a broadcasting failure deep
+        inside attention.  Walks cannot be added or dropped mid-session;
+        that is the continuous-batching engine's job
+        (:class:`repro.serve.ContinuousBatcher`).
         """
         if not self._length:
             raise RuntimeError("call prefill before step")
         next_ids = np.asarray(next_ids, dtype=np.int64).reshape(-1, 1)
+        if next_ids.shape[0] != self._batch:
+            raise ValueError(
+                f"step batch size {next_ids.shape[0]} does not match the "
+                f"batch size {self._batch} frozen at prefill; the decoder "
+                "cannot grow or shrink its walk batch mid-session")
         return self._forward(next_ids, None)

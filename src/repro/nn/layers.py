@@ -82,7 +82,17 @@ class Module:
             if params[name].shape != value.shape:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{params[name].shape} vs {value.shape}")
-            params[name].data = np.asarray(value, dtype=np.float64).copy()
+            value = np.asarray(value)
+            if value.dtype == np.float64 and not value.flags.writeable:
+                # A read-only float64 array (e.g. an mmap-loaded serving
+                # weight) is aliased, not copied: nothing can mutate it
+                # through the parameter, and copying would defeat the
+                # point of memory-mapping — many resident models sharing
+                # the page cache.  Training such a model fails loudly on
+                # the first in-place update.
+                params[name].data = value
+            else:
+                params[name].data = value.astype(np.float64, copy=True)
 
     # -- mode switching ---------------------------------------------------
     def train(self) -> "Module":

@@ -1,0 +1,16 @@
+"""Generation-as-a-service: continuous-batching decode behind a daemon.
+
+Three pieces (see ISSUE/README "Serving"):
+
+* :mod:`repro.serve.engine` — :class:`ContinuousBatcher`, which
+  coalesces concurrent walk requests of different lengths into one
+  KV-cached decode batch with byte-identical-to-standalone output;
+* :mod:`repro.serve.daemon` — the stdlib-only ``repro serve`` HTTP
+  server (model LRU, bounded admission queue, graceful drain);
+* :mod:`repro.serve.client` — the thin HTTP client used by
+  ``repro generate --server`` and the serving benchmark.
+"""
+
+from .engine import ContinuousBatcher, EngineStats, WalkTicket, serve_walks
+
+__all__ = ["ContinuousBatcher", "EngineStats", "WalkTicket", "serve_walks"]

@@ -1,0 +1,121 @@
+"""Thin stdlib HTTP client for the ``repro serve`` daemon.
+
+Used by ``repro generate --server`` / ``repro evaluate --server`` and by
+``benchmarks/bench_serving.py``; anything else that speaks JSON over
+HTTP works just as well — the client only wraps ``urllib`` with the
+daemon's error conventions (``429 + Retry-After`` backoff, JSON error
+bodies surfaced as :class:`ServeClientError`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+__all__ = ["ServeClient", "ServeClientError", "ServerBusy"]
+
+
+class ServeClientError(Exception):
+    """Non-2xx daemon response, carrying the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServerBusy(ServeClientError):
+    """``429``: the admission queue is full; retry after a delay."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Client for one daemon at ``base_url`` (e.g. ``http://host:port``).
+
+    ``retries`` bounds automatic backoff on ``429`` responses: the
+    client sleeps the server's ``Retry-After`` hint and resubmits, up to
+    that many times, before surfacing :class:`ServerBusy`.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0,
+                 retries: int = 0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (json.JSONDecodeError, OSError):
+                message = str(exc)
+            if exc.code == 429:
+                retry_after = float(exc.headers.get("Retry-After", 1) or 1)
+                raise ServerBusy(message, retry_after) from None
+            raise ServeClientError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _post_with_backoff(self, path: str, payload: dict) -> dict:
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request("POST", path, payload)
+            except ServerBusy as busy:
+                if attempt == self.retries:
+                    raise
+                time.sleep(busy.retry_after)
+        raise AssertionError("unreachable")
+
+    # -- API -----------------------------------------------------------
+    def generate(self, model: str, n_walks: int, *,
+                 length: int | None = None, seed: int = 0,
+                 temperature: float = 1.0, chunk: int = 256,
+                 starts=None, timeout: float | None = None) -> np.ndarray:
+        """Request walks; returns the ``(n_walks, length)`` array.
+
+        For a given ``(model, seed, temperature, chunk, starts)`` the
+        result is byte-identical to the standalone
+        ``sample_chunked`` call with the same arguments — the serving
+        engine's determinism contract.
+        """
+        payload: dict = {"model": model, "n_walks": n_walks,
+                         "seed": seed, "temperature": temperature,
+                         "chunk": chunk}
+        if length is not None:
+            payload["length"] = length
+        if starts is not None:
+            payload["starts"] = np.asarray(starts).tolist()
+        if timeout is not None:
+            payload["timeout"] = timeout
+        reply = self._post_with_backoff("/generate", payload)
+        return np.asarray(reply["walks"], dtype=np.int64)
+
+    def evaluate(self, model: str) -> dict:
+        """Discrepancy scoreboard of the cached artifact under ``model``."""
+        return self._post_with_backoff("/evaluate", {"model": model})
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")

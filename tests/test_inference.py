@@ -221,3 +221,111 @@ class TestSampleChunked:
                                      chunk=4, starts_fn=starts_fn)
         assert calls == [4, 4, 2]
         np.testing.assert_array_equal(walks[:, 0], np.zeros(10))
+
+
+class TestLayerKVCacheRowOps:
+    """Row-level insert/evict/compact: the serving engine's cache mode."""
+
+    def _filled(self, rng, rows, length, capacity=6):
+        cache = LayerKVCache(capacity=capacity)
+        k = rng.normal(size=(rows, 2, length, 4))
+        cache.append(k, k + 1.0)
+        return cache, k
+
+    def test_append_cache_transplants_rows(self, rng):
+        a, k_a = self._filled(rng, 2, 3)
+        b, k_b = self._filled(rng, 3, 5)
+        a.append_cache(b)
+        assert a.num_rows == 5
+        np.testing.assert_array_equal(a.row_lengths, [3, 3, 5, 5, 5])
+        k_rows, _ = a.rows_view(0, 2, 3)
+        np.testing.assert_array_equal(k_rows, k_a)
+        k_rows, v_rows = a.rows_view(2, 5, 5)
+        np.testing.assert_array_equal(k_rows, k_b)
+        np.testing.assert_array_equal(v_rows, k_b + 1.0)
+
+    def test_append_cache_requires_matching_capacity(self, rng):
+        a, _ = self._filled(rng, 1, 2, capacity=6)
+        b, _ = self._filled(rng, 1, 2, capacity=7)
+        with pytest.raises(ValueError, match="capacity"):
+            a.append_cache(b)
+
+    def test_append_cache_rejects_growable_donor(self, rng):
+        a, _ = self._filled(rng, 1, 2)
+        donor = LayerKVCache()  # concatenating mode, no capacity
+        k = rng.normal(size=(1, 2, 2, 4))
+        donor.append(k, k.copy())
+        with pytest.raises(ValueError, match="preallocated"):
+            a.append_cache(donor)
+
+    def test_gather_rows_evicts_and_compacts(self, rng):
+        a, k_a = self._filled(rng, 2, 3)
+        b, k_b = self._filled(rng, 3, 5)
+        a.append_cache(b)
+        a.gather_rows(np.array([0, 3, 4]))  # drop row 1 and b's first row
+        assert a.num_rows == 3
+        np.testing.assert_array_equal(a.row_lengths, [3, 5, 5])
+        k_rows, _ = a.rows_view(0, 1, 3)
+        np.testing.assert_array_equal(k_rows, k_a[:1])
+        k_rows, _ = a.rows_view(1, 3, 5)
+        np.testing.assert_array_equal(k_rows, k_b[1:])
+
+    def test_gather_all_rows_resets_to_pristine(self, rng):
+        cache, _ = self._filled(rng, 2, 3)
+        cache.gather_rows(np.empty(0, dtype=np.int64))
+        assert cache.num_rows == 0 and cache.length == 0
+        # the cache is reusable afterwards, as if freshly constructed
+        k = rng.normal(size=(1, 2, 2, 4))
+        cache.append(k, k.copy())
+        assert cache.length == 2
+
+    def test_append_ragged_advances_per_row_lengths(self, rng):
+        a, _ = self._filled(rng, 2, 3)
+        b, _ = self._filled(rng, 1, 5)
+        a.append_cache(b)
+        k_new = rng.normal(size=(3, 2, 1, 4))
+        a.append_ragged(k_new, k_new + 1.0)
+        np.testing.assert_array_equal(a.row_lengths, [4, 4, 6])
+        k_rows, v_rows = a.rows_view(0, 2, 4)
+        np.testing.assert_array_equal(k_rows[:, :, 3:], k_new[:2])
+        np.testing.assert_array_equal(v_rows[:, :, 3:], k_new[:2] + 1.0)
+        k_rows, _ = a.rows_view(2, 3, 6)
+        np.testing.assert_array_equal(k_rows[:, :, 5:], k_new[2:])
+
+    def test_append_ragged_capacity_overflow_rejected(self, rng):
+        a, _ = self._filled(rng, 1, 6, capacity=6)  # row already full
+        k = rng.normal(size=(1, 2, 1, 4))
+        with pytest.raises(ValueError, match="capacity"):
+            a.append_ragged(k, k.copy())
+
+    def test_rows_view_is_zero_copy(self, rng):
+        cache, k = self._filled(rng, 3, 4)
+        k_rows, v_rows = cache.rows_view(1, 3, 4)
+        assert k_rows.base is not None and v_rows.base is not None
+        np.testing.assert_array_equal(k_rows, k[1:3])
+
+
+class TestWalkDecoderBatchGuards:
+    """The decode batch is frozen at prefill (serving engines, not the
+    decoder, handle growing/shrinking walk populations)."""
+
+    def test_step_batch_mismatch_raises_clear_error(self, model):
+        decoder = WalkDecoder(model)
+        decoder.prefill(np.full((3, 1), model.start_token))
+        assert decoder.batch_size == 3
+        with pytest.raises(ValueError, match="frozen at prefill"):
+            decoder.step(np.array([1, 2]))
+        with pytest.raises(ValueError, match="frozen at prefill"):
+            decoder.step(np.array([1, 2, 3, 4]))
+
+    def test_empty_batch_prefill_rejected(self, model):
+        with pytest.raises(ValueError, match="non-empty"):
+            WalkDecoder(model).prefill(np.empty((0, 1), dtype=np.int64))
+
+    def test_empty_prompt_prefill_rejected(self, model):
+        with pytest.raises(ValueError, match="non-empty"):
+            WalkDecoder(model).prefill(np.empty((2, 0), dtype=np.int64))
+
+    def test_one_dimensional_prompt_rejected(self, model):
+        with pytest.raises(ValueError, match=r"\(B, T\)"):
+            WalkDecoder(model).prefill(np.array([model.start_token]))

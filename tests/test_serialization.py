@@ -176,3 +176,69 @@ class TestModelZooSerialization:
         save_model(model, path)
         with pytest.raises(ValueError, match="not a FairGen"):
             load_fairgen(path, graph)
+
+
+class TestMmapLoading:
+    """load_model(mmap=True): the serving daemon's resident-model mode."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(31)
+        graph, _, _ = planted_protected_graph(
+            36, 9, rng, p_in=0.3, p_out=0.04, num_classes=2,
+            protected_as_class=True)
+        model = create_model("taggen", profile="smoke")
+        model.fit(graph, np.random.default_rng(5))
+        return model, graph
+
+    def test_uncompressed_roundtrip_is_mmap_backed(self, fitted, tmp_path):
+        model, graph = fitted
+        path = tmp_path / "taggen.npz"
+        save_model(model, path, compress=False)
+        restored = load_model(path, graph, mmap=True)
+        state, restored_state = model.state_dict(), restored.state_dict()
+        for key, value in state.items():
+            np.testing.assert_array_equal(np.asarray(value),
+                                          np.asarray(restored_state[key]),
+                                          err_msg=key)
+        weight = restored.model.embed.weight.data
+        assert not weight.flags.writeable
+        assert isinstance(weight.base, np.memmap)
+
+    def test_mmap_model_generates_identically(self, fitted, tmp_path):
+        model, graph = fitted
+        path = tmp_path / "taggen.npz"
+        save_model(model, path, compress=False)
+        restored = load_model(path, graph, mmap=True)
+        np.testing.assert_array_equal(
+            restored.generate_walks(12, np.random.default_rng(7)),
+            model.generate_walks(12, np.random.default_rng(7)))
+
+    def test_mmap_weights_are_read_only_safe(self, fitted, tmp_path):
+        """Training an mmap-loaded model must fail loudly, not corrupt
+        the archive every resident model shares."""
+        model, graph = fitted
+        path = tmp_path / "taggen.npz"
+        save_model(model, path, compress=False)
+        restored = load_model(path, graph, mmap=True)
+        param = next(iter(restored.model.parameters()))
+        with pytest.raises(ValueError):
+            param.data += 1.0  # in-place update = a training step
+
+    def test_compressed_archive_falls_back_to_copy(self, fitted, tmp_path):
+        model, graph = fitted
+        path = tmp_path / "taggen.npz"
+        save_model(model, path)  # compressed default
+        restored = load_model(path, graph, mmap=True)
+        weight = restored.model.embed.weight.data
+        assert weight.flags.writeable  # ordinary in-memory load
+        np.testing.assert_array_equal(
+            restored.generate_walks(8, np.random.default_rng(3)),
+            model.generate_walks(8, np.random.default_rng(3)))
+
+    def test_mmap_false_still_copies(self, fitted, tmp_path):
+        model, graph = fitted
+        path = tmp_path / "taggen.npz"
+        save_model(model, path, compress=False)
+        restored = load_model(path, graph)
+        assert restored.model.embed.weight.data.flags.writeable
