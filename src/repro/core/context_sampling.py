@@ -57,10 +57,15 @@ class ContextSampler:
             raise ValueError("labeled nodes/classes shape mismatch")
         self._class_members.clear()
         self._class_starts.clear()
+        # Diffusion cores need the dense-ish lazy transition matrix; an
+        # out-of-core ShardedGraph does not expose it, so label-guided
+        # starts fall back to all labeled members there (the Lemma 2.1
+        # stay-probability guarantee is a refinement, not a requirement).
+        has_cores = hasattr(self.graph, "transition_matrix")
         for cls in np.unique(labeled_classes):
             members = labeled_nodes[labeled_classes == cls]
             self._class_members[int(cls)] = members
-            if members.size >= 2:
+            if has_cores and members.size >= 2:
                 core = diffusion_core(self.graph, members, self.delta,
                                       self.diffusion_steps)
             else:

@@ -126,23 +126,22 @@ def save_model(model: GraphGenerativeModel, path: str | os.PathLike, *,
         np.savez(path, **payload)
 
 
-def _mmap_npz(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
-    """Map every array of an uncompressed ``.npz`` straight off disk.
+def _npz_member_layout(
+        path: str | os.PathLike
+) -> dict[str, tuple[int, np.dtype, tuple]] | None:
+    """``{name: (data_offset, dtype, shape)}`` of an uncompressed npz.
 
-    ``np.load(..., mmap_mode=...)`` silently ignores the mmap request
-    for zip archives, so this maps the members by hand: for each
-    ``ZIP_STORED`` member it locates the raw ``.npy`` payload via the
-    member's local file header, parses the ``.npy`` header for dtype
-    and shape, and wraps the data region in a read-only
-    :class:`numpy.memmap`.  Returns ``None`` when the archive cannot be
-    mapped (compressed members, object or Fortran-order arrays) so the
-    caller can fall back to a normal in-memory load.
+    The layout is all a reader needs to map (or re-map) the archive's
+    members without re-parsing the zip — the sharded graph store caches
+    it per shard so LRU re-entry of an evicted shard costs one ``mmap``
+    instead of a zip walk.  Returns ``None`` when the archive cannot be
+    mapped (compressed members, object or Fortran-order arrays).
     """
     import zipfile
 
     from numpy.lib import format as npy_format
 
-    arrays: dict[str, np.ndarray] = {}
+    layout: dict[str, tuple[int, np.dtype, tuple]] = {}
     with zipfile.ZipFile(path) as zf:
         for info in zf.infolist():
             if info.compress_type != zipfile.ZIP_STORED:
@@ -172,9 +171,26 @@ def _mmap_npz(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
                     return None
                 offset = data_start + member.tell()
             key = info.filename.removesuffix(".npy")
-            arrays[key] = np.memmap(path, dtype=dtype, mode="r",
-                                    offset=offset, shape=shape)
-    return arrays
+            layout[key] = (offset, dtype, tuple(shape))
+    return layout
+
+
+def _mmap_npz(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
+    """Map every array of an uncompressed ``.npz`` straight off disk.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the mmap request
+    for zip archives, so this maps the members by hand via
+    :func:`_npz_member_layout` and wraps each data region in a
+    read-only :class:`numpy.memmap`.  Returns ``None`` when the archive
+    cannot be mapped so the caller can fall back to a normal in-memory
+    load.
+    """
+    layout = _npz_member_layout(path)
+    if layout is None:
+        return None
+    return {name: np.memmap(path, dtype=dtype, mode="r",
+                            offset=offset, shape=shape)
+            for name, (offset, dtype, shape) in layout.items()}
 
 
 def load_model(path: str | os.PathLike, graph: Graph, *,

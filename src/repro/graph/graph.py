@@ -31,6 +31,11 @@ class Graph:
         adj = sp.csr_matrix(adjacency, dtype=np.float64)
         adj.setdiag(0)
         adj.eliminate_zeros()
+        # Hand-built CSR can carry duplicate structural entries, which
+        # scipy keeps — they would double-count edges/degrees and break
+        # the sorted-indices invariant has_edge's binary search relies
+        # on.  Merge them (also sorts indices) before binarising.
+        adj.sum_duplicates()
         adj.data[:] = 1.0
         if (abs(adj - adj.T)).nnz != 0:
             raise ValueError("adjacency must be symmetric (undirected graph)")
@@ -189,6 +194,8 @@ class Graph:
     def subgraph(self, nodes: Sequence[int] | np.ndarray) -> "Graph":
         """Induced subgraph; node ids are compacted to 0..len(nodes)-1."""
         nodes = np.asarray(nodes, dtype=np.int64)
+        if np.unique(nodes).size != nodes.size:
+            raise ValueError("subgraph nodes must be unique")
         sub = self._adj[nodes][:, nodes]
         return Graph(sub)
 

@@ -78,7 +78,7 @@ def node2vec_walk(graph: Graph, start: int, length: int,
     return walk
 
 
-def sample_walks(graph: Graph, num_walks: int, length: int,
+def sample_walks(graph, num_walks: int, length: int,
                  rng: np.random.Generator,
                  starts: np.ndarray | None = None,
                  p: float = 1.0, q: float = 1.0) -> np.ndarray:
@@ -88,6 +88,14 @@ def sample_walks(graph: Graph, num_walks: int, length: int,
     node2vec convention (walks per unit of volume).  All walks advance in
     lock-step on the graph's cached :class:`~repro.graph.walk_engine.WalkEngine`
     rather than one at a time through :func:`node2vec_walk`.
+
+    ``graph`` may be an in-memory :class:`~repro.graph.Graph` or an
+    out-of-core :class:`~repro.graph.sharded.ShardedGraph` — both expose
+    ``walk_engine()``, so every walk-based pipeline stage routed through
+    this function scales past resident memory transparently (see the
+    RNG-stream contract on
+    :class:`~repro.graph.walk_engine.ShardedWalkEngine` for when results
+    are byte-identical).
     """
     return graph.walk_engine().walks(num_walks, length, rng,
                                      starts=starts, p=p, q=q)

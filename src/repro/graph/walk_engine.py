@@ -29,13 +29,16 @@ implementations; equivalence tests assert matched transition statistics.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from .graph import Graph
 
-__all__ = ["WalkEngine"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sharded import ShardedGraph
+
+__all__ = ["WalkEngine", "ShardedWalkEngine"]
 
 
 class WalkEngine:
@@ -297,6 +300,274 @@ class WalkEngine:
             cdf /= cdf[-1]
             out[i] = nbrs[int(np.searchsorted(cdf, rng.random(),
                                               side="right"))]
+
+    # ------------------------------------------------------------------
+    def walks(self, num_walks: int, length: int, rng: np.random.Generator,
+              starts: np.ndarray | None = None,
+              p: float = 1.0, q: float = 1.0) -> np.ndarray:
+        """Degree-weighted-start node2vec walks; the engine's front door."""
+        if num_walks <= 0:
+            raise ValueError("num_walks must be positive")
+        if starts is None:
+            starts = self.sample_starts(num_walks, rng)
+        else:
+            starts = np.asarray(starts, dtype=np.int64)
+            if starts.size != num_walks:
+                raise ValueError("starts must have num_walks entries")
+        return self.node2vec_walks(starts, length, rng, p=p, q=q)
+
+
+class ShardedWalkEngine:
+    """Out-of-core lock-step walks over a :class:`ShardedGraph`.
+
+    Each step buckets the walk frontier by the shard owning each walk's
+    current node (ascending shard id, walks in ascending index within a
+    bucket), advances every bucket with the same vectorized kernels as
+    :class:`WalkEngine` against that shard's CSR mmap, then lets crossing
+    walkers land wherever their sampled neighbor lives — the next step's
+    bucketing re-routes them.  Resident memory is therefore
+    O(frontier + hot shards), never O(edges).
+
+    **RNG-stream contract.**  One caller-supplied generator is consumed
+    per lock-step step.  *First-order* (uniform) steps issue the same
+    single ``rng.integers`` call :class:`WalkEngine` makes — over the
+    eligible frontier in ascending walk order — before any bucketing;
+    only the neighbor gathers are routed per shard.  *Biased* rejection
+    rounds run per bucket, ascending shard id with walks in ascending
+    index inside each bucket, issuing exactly the vectorized calls
+    :class:`WalkEngine` makes (one ``rng.integers`` per proposal round,
+    one ``rng.random`` per accept round, one ``rng.random`` per
+    exact-fallback batch).  Consequences:
+
+    * :meth:`sample_starts`, :meth:`uniform_walks` and ``p == q == 1``
+      :meth:`node2vec_walks` are *byte-identical* to
+      :class:`WalkEngine` under **any** shard count (their draws never
+      depend on the bucketing);
+    * biased walks from a **single-shard** layout have one bucket
+      holding all walks in index order, so every draw matches
+      :class:`WalkEngine` exactly — byte-identical given equal
+      generator state;
+    * biased walks from a multi-shard layout are **deterministic**
+      given (layout, seed), but changing the shard count regroups the
+      rejection draws and legitimately yields different (equally
+      distributed) walks.
+    """
+
+    def __init__(self, graph: "ShardedGraph",
+                 max_rejection_rounds: int = 50):
+        self.graph = graph
+        self.num_nodes = graph.num_nodes
+        # O(nodes) working state lives in memory: the global degree
+        # vector and the global CSR row offsets (each shard's slots are
+        # the contiguous range indptr[node] - indptr[shard_start], so no
+        # walk step ever reads a shard's indptr/degrees off disk — only
+        # the O(edges) neighbor ids stay out of core).
+        self.degrees = np.array(graph.degrees, dtype=np.int64)
+        self.indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(self.degrees, out=self.indptr[1:])
+        self._slot_base = self.indptr[graph.shard_starts[:-1]]
+        # Narrow sort keys get numpy's radix path — the per-step
+        # frontier sort is ~8x cheaper on uint16 than int64.
+        self._owner_dtype = (np.uint16 if graph.num_shards
+                             <= np.iinfo(np.uint16).max else np.int64)
+        self.max_rejection_rounds = max_rejection_rounds
+        self._cumulative_degrees: np.ndarray | None = None
+
+    _EXACT_CELL_BUDGET = WalkEngine._EXACT_CELL_BUDGET
+
+    # -- starts (identical math to WalkEngine.sample_starts) -----------
+    def sample_starts(self, num: int, rng: np.random.Generator,
+                      weight: str = "degree") -> np.ndarray:
+        """Degree-weighted starts; byte-identical to the in-memory
+        engine for any shard count (only the global degree vector is
+        read)."""
+        if weight not in ("degree", "uniform"):
+            raise ValueError("weight must be 'degree' or 'uniform'")
+        total = int(self.degrees.sum())
+        if weight == "uniform" or total == 0:
+            return rng.integers(self.num_nodes, size=num)
+        if self._cumulative_degrees is None:
+            self._cumulative_degrees = np.cumsum(self.degrees)
+        slots = rng.integers(total, size=num)
+        return np.searchsorted(self._cumulative_degrees, slots,
+                               side="right").astype(np.int64)
+
+    def has_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Batched membership, routed shard-by-shard (RNG-free)."""
+        return self.graph.has_edges(u, v)
+
+    # -- frontier bucketing --------------------------------------------
+    def _buckets(self, cur: np.ndarray,
+                 eligible: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """``(shard_id, walk_indices)`` buckets of the eligible frontier,
+        ascending shard id, ascending walk index within each bucket."""
+        idx = np.flatnonzero(eligible)
+        if idx.size == 0:
+            return []
+        owners = self.graph.shard_of(cur[idx]).astype(self._owner_dtype,
+                                                      copy=False)
+        order = np.argsort(owners, kind="stable")
+        idx, owners = idx[order], owners[order]
+        cuts = np.flatnonzero(np.diff(owners)) + 1
+        return [(int(owners[lo]), idx[lo:hi])
+                for lo, hi in zip(np.concatenate([[0], cuts]),
+                                  np.concatenate([cuts, [idx.size]]))]
+
+    # -- kernels (per-bucket twins of the WalkEngine kernels) ----------
+    def _uniform_step(self, cur: np.ndarray,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Advance every walk one first-order step in place (lazy stall
+        at isolated nodes).
+
+        The offset draw is the *same single* ``rng.integers`` call
+        :class:`WalkEngine` makes — over the eligible frontier in walk
+        order — and only the neighbor gathers are routed shard by
+        shard, so uniform steps are byte-identical to the in-memory
+        engine under **any** shard count.
+        """
+        deg = self.degrees[cur]
+        idx = np.flatnonzero(deg > 0)
+        if idx.size == 0:
+            return cur
+        src = cur[idx]
+        slots = self.indptr[src] + rng.integers(deg[idx])
+        owners = self.graph.shard_of(src).astype(self._owner_dtype,
+                                                 copy=False)
+        order = np.argsort(owners, kind="stable")
+        idx, owners, slots = idx[order], owners[order], slots[order]
+        cuts = np.flatnonzero(np.diff(owners)) + 1
+        for lo, hi in zip(np.concatenate([[0], cuts]),
+                          np.concatenate([cuts, [idx.size]])):
+            shard_id = int(owners[lo])
+            shard = self.graph.shard(shard_id)
+            cur[idx[lo:hi]] = shard.indices[
+                slots[lo:hi] - self._slot_base[shard_id]]
+        return cur
+
+    def uniform_walks(self, starts: np.ndarray, length: int,
+                      rng: np.random.Generator) -> np.ndarray:
+        """First-order walks; shape ``(len(starts), length)``."""
+        if length < 1:
+            raise ValueError("walk length must be >= 1")
+        starts = np.asarray(starts, dtype=np.int64)
+        walks = np.empty((starts.size, length), dtype=np.int64)
+        walks[:, 0] = starts
+        cur = starts.copy()
+        for t in range(1, length):
+            walks[:, t] = self._uniform_step(cur, rng)
+        return walks
+
+    def node2vec_walks(self, starts: np.ndarray, length: int,
+                       rng: np.random.Generator,
+                       p: float = 1.0, q: float = 1.0) -> np.ndarray:
+        """Biased second-order walks; same weights as the in-memory
+        engine, rejection-sampled per shard bucket."""
+        if p <= 0 or q <= 0:
+            raise ValueError("node2vec parameters p and q must be positive")
+        if length < 1:
+            raise ValueError("walk length must be >= 1")
+        starts = np.asarray(starts, dtype=np.int64)
+        walks = np.empty((starts.size, length), dtype=np.int64)
+        walks[:, 0] = starts
+        if length == 1:
+            return walks
+        cur = starts.copy()
+        walks[:, 1] = self._uniform_step(cur, rng)
+        if p == 1.0 and q == 1.0:
+            for t in range(2, length):
+                walks[:, t] = self._uniform_step(cur, rng)
+            return walks
+        inv_p, inv_q = 1.0 / p, 1.0 / q
+        w_max = max(inv_p, 1.0, inv_q)
+        for t in range(2, length):
+            prev = walks[:, t - 2]
+            nxt = cur.copy()
+            for shard_id, members in self._buckets(
+                    cur, self.degrees[cur] > 0):
+                self._biased_bucket_step(
+                    self.graph.shard(shard_id), cur, prev, members, nxt,
+                    rng, inv_p, inv_q, w_max)
+            cur = nxt
+            walks[:, t] = cur
+        return walks
+
+    def _biased_bucket_step(self, shard, cur: np.ndarray,
+                            prev: np.ndarray, pending: np.ndarray,
+                            out: np.ndarray, rng: np.random.Generator,
+                            inv_p: float, inv_q: float,
+                            w_max: float) -> None:
+        """Rejection rounds + exact fallback for one shard bucket —
+        the same call sequence as the :class:`WalkEngine` biased loop,
+        restricted to walks currently inside ``shard``."""
+        indices = shard.indices
+        base = self._slot_base[shard.shard_id]
+        rounds = 0
+        while pending.size:
+            if rounds >= self.max_rejection_rounds:
+                self._exact_biased_steps(shard, cur, prev, pending, out,
+                                         rng, inv_p, inv_q)
+                break
+            src = cur[pending]
+            offsets = rng.integers(self.degrees[src])
+            candidates = indices[self.indptr[src] - base + offsets]
+            weights = np.where(
+                candidates == prev[pending], inv_p,
+                np.where(self.has_edges(candidates, prev[pending]),
+                         1.0, inv_q))
+            accepted = rng.random(pending.size) * w_max < weights
+            out[pending[accepted]] = candidates[accepted]
+            pending = pending[~accepted]
+            rounds += 1
+
+    def _exact_biased_steps(self, shard, cur: np.ndarray,
+                            prev: np.ndarray, pending: np.ndarray,
+                            out: np.ndarray, rng: np.random.Generator,
+                            inv_p: float, inv_q: float) -> None:
+        """Chunked exact fallback; same cell budget and chunk cuts as
+        :meth:`WalkEngine._exact_biased_steps`."""
+        deg_all = self.degrees[cur[pending]]
+        start = 0
+        while start < pending.size:
+            stop = start + 1
+            width = int(deg_all[start])
+            while stop < pending.size:
+                next_width = max(width, int(deg_all[stop]))
+                if (stop - start + 1) * next_width > self._EXACT_CELL_BUDGET:
+                    break
+                width = next_width
+                stop += 1
+            self._exact_biased_batch(shard, cur, prev,
+                                     pending[start:stop], out, rng,
+                                     inv_p, inv_q)
+            start = stop
+
+    def _exact_biased_batch(self, shard, cur: np.ndarray,
+                            prev: np.ndarray, pending: np.ndarray,
+                            out: np.ndarray, rng: np.random.Generator,
+                            inv_p: float, inv_q: float) -> None:
+        """Padded-rectangle inverse-CDF draw, arithmetic-identical to
+        :meth:`WalkEngine._exact_biased_batch` on shard-local arrays."""
+        indices = shard.indices
+        src = cur[pending]
+        lo = self.indptr[src] - self._slot_base[shard.shard_id]
+        deg = self.degrees[src]  # > 0: pending excludes isolated nodes
+        cols = np.arange(int(deg.max()))
+        valid = cols[None, :] < deg[:, None]
+        nbrs = indices[np.where(valid, lo[:, None] + cols[None, :],
+                                lo[:, None])]
+        prev_col = np.broadcast_to(prev[pending][:, None], nbrs.shape)
+        weights = np.where(
+            nbrs == prev_col, inv_p,
+            np.where(self.has_edges(nbrs.ravel(),
+                                    prev_col.ravel()).reshape(nbrs.shape),
+                     1.0, inv_q))
+        weights[~valid] = 0.0
+        cdf = np.cumsum(weights, axis=1)
+        cdf /= cdf[np.arange(pending.size), deg - 1][:, None]
+        cdf[~valid] = np.inf
+        u = rng.random(pending.size)
+        choice = (cdf <= u[:, None]).sum(axis=1)
+        out[pending] = nbrs[np.arange(pending.size), choice]
 
     # ------------------------------------------------------------------
     def walks(self, num_walks: int, length: int, rng: np.random.Generator,

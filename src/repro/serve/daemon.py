@@ -359,6 +359,8 @@ class ServeDaemon:
         self.request_timeout = request_timeout
         self.verbose = verbose
         self.started_at = time.monotonic()
+        self._eval_runner = None
+        self._eval_lock = threading.Lock()
         self._stop = threading.Event()
         self._wake = threading.Event()
         self._server = _Server((host, port), _Handler)
@@ -504,22 +506,55 @@ class ServeDaemon:
         graph_path = self.house.cache_dir / f"{key}.npz"
         if not graph_path.exists():
             raise ServeError(404, f"no generated graph for {key!r}")
+        metrics = self._recompute_metrics(key, meta)
+        return {"model": key, "metrics": metrics, "cached": False}
+
+    def _recompute_metrics(self, key: str, meta: dict) -> dict:
+        """Cold-evaluate metrics, written back through the artifact cache.
+
+        Preferred path: replay the sidecar's spec through the experiment
+        :class:`~repro.experiments.Runner` bound to the same cache — the
+        scoreboard then matches a ``with_metrics`` sweep exactly
+        (protected row, ASPL sampling budget and all) and
+        ``_ensure_metrics`` persists it into the sidecar, so the *next*
+        evaluate of this key hits the warm branch above.  Entries the
+        Runner rejects (stale stamp / foreign format) fall back to a
+        direct overall-only computation, served but not persisted.
+        """
+        try:
+            from ..experiments import ExperimentSpec, Runner
+
+            spec_fields = meta.get("spec") or {}
+            spec = ExperimentSpec(
+                model=spec_fields["model"],
+                dataset=spec_fields["dataset"],
+                profile=spec_fields.get("profile", "paper"),
+                seed=int(spec_fields.get("seed", 0)),
+                overrides=spec_fields.get("overrides") or ())
+            with self._eval_lock:
+                if self._eval_runner is None:
+                    self._eval_runner = Runner(
+                        cache_dir=self.house.cache_dir)
+                result = self._eval_runner._load_from_disk(
+                    spec, with_metrics=True)
+            if result is not None and result.metrics is not None:
+                return result.metrics
+        except (ValueError, KeyError, OSError, TypeError):
+            pass  # unreplayable sidecar: compute directly below
         from ..core.serialization import load_graph
         from ..data import load_dataset
         from ..eval import mean_discrepancy, overall_discrepancy
 
         try:
-            generated = load_graph(graph_path)
+            generated = load_graph(self.house.cache_dir / f"{key}.npz")
             original = load_dataset(meta["spec"]["dataset"]).graph
         except (ValueError, KeyError, OSError) as exc:
             raise ServeError(500, f"failed to load artifacts for "
                                   f"{key!r}: {exc}")
         overall = overall_discrepancy(original, generated,
                                       rng=np.random.default_rng(0))
-        return {"model": key,
-                "metrics": {"overall": overall,
-                            "overall_mean": mean_discrepancy(overall)},
-                "cached": False}
+        return {"overall": overall,
+                "overall_mean": mean_discrepancy(overall)}
 
     # -- introspection -------------------------------------------------
     def healthz(self) -> dict:

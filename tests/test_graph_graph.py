@@ -52,6 +52,18 @@ class TestConstruction:
         assert triangle_graph == other
         assert triangle_graph != Graph.from_edges(3, [(0, 1)])
 
+    def test_duplicate_structural_entries_merged(self):
+        # A hand-built CSR can carry the same (row, col) slot twice;
+        # scipy keeps both until sum_duplicates.  Construction must
+        # canonicalise, or degrees and has_edge double-count.
+        indptr = np.array([0, 2, 3])
+        indices = np.array([1, 1, 0])
+        data = np.ones(3)
+        g = Graph(sp.csr_matrix((data, indices, indptr), shape=(2, 2)))
+        assert g.num_edges == 1
+        np.testing.assert_array_equal(g.degrees, [1, 1])
+        assert g.adjacency.nnz == 2
+
 
 class TestAccessors:
     def test_degrees(self, path_graph):
@@ -192,3 +204,20 @@ class TestSubgraphs:
         sub, nodes = g.ego_network([2])
         assert sub.num_nodes == 1
         assert sub.num_edges == 0
+
+    def test_subgraph_rejects_duplicate_nodes(self, path_graph):
+        with pytest.raises(ValueError, match="unique"):
+            path_graph.subgraph([0, 1, 1])
+
+    def test_subgraph_csr_sorted_and_deduplicated(self,
+                                                  two_cliques_graph):
+        # fancy-indexed scipy slices can leave per-row indices unsorted;
+        # downstream binary searches (walk engines, has_edge) need the
+        # canonical form
+        sub = two_cliques_graph.subgraph([3, 0, 2, 1])
+        adj = sub.adjacency
+        for lo, hi in zip(adj.indptr[:-1], adj.indptr[1:]):
+            row = adj.indices[lo:hi]
+            assert np.array_equal(row, np.sort(row))
+            assert np.unique(row).size == row.size
+        assert sub.num_edges == 6  # clique structure is order-invariant

@@ -505,6 +505,32 @@ class TestModelHouse:
         finally:
             daemon.shutdown()
 
+    def test_daemon_cold_evaluate_persists_metrics(self, tmp_path):
+        # A run cached without metrics: the first evaluate replays the
+        # spec through the Runner and writes the scoreboard back into
+        # the sidecar, so the second evaluate hits the warm branch.
+        runner = Runner(cache_dir=tmp_path)
+        spec = ExperimentSpec(model="er", dataset="EMAIL",
+                              profile="smoke")
+        runner.run(spec, with_metrics=False)
+        key = spec.cache_key()
+        meta = json.loads((tmp_path / f"{key}.json").read_text())
+        assert not meta.get("metrics")
+        daemon = ServeDaemon(tmp_path, port=0)
+        daemon.start()
+        try:
+            client = ServeClient(daemon.url)
+            cold = client.evaluate(key)
+            assert cold["cached"] is False
+            assert "overall_mean" in cold["metrics"]
+            meta = json.loads((tmp_path / f"{key}.json").read_text())
+            assert meta["metrics"]  # written back through the cache
+            warm = client.evaluate(key)
+            assert warm["cached"] is True
+            assert warm["metrics"] == cold["metrics"]
+        finally:
+            daemon.shutdown()
+
 
 # ----------------------------------------------------------------------
 # Graceful shutdown of the real processes
