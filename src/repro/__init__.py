@@ -12,6 +12,8 @@ Public API overview
 ``repro.eval``      — discrepancy (Eqs. 15/16), classification,
                       data augmentation.
 ``repro.nn``        — the NumPy autograd substrate everything trains on.
+``repro.obs``       — observability: metrics registry (Prometheus /
+                      JSON snapshots) + Chrome-trace span tracing.
 ``repro.train``     — the shared Trainer loop: callbacks, grad clipping,
                       loss-history contract and checkpoint/resume.
 ``repro.registry``  — the model registry: every generator under a
@@ -31,9 +33,10 @@ Quickstart::
 """
 
 from . import (core, data, embedding, eval, experiments, graph, models, nn,
-               registry, train, utils)
+               obs, registry, train, utils)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["core", "data", "embedding", "eval", "experiments", "graph",
-           "models", "nn", "registry", "train", "utils", "__version__"]
+           "models", "nn", "obs", "registry", "train", "utils",
+           "__version__"]

@@ -18,6 +18,14 @@ Commands
                out-of-core shard directory (see README "Sharded graphs")
 ``graph``      shard-directory utilities; ``graph stats <dir>`` prints
                the manifest summary without loading any shard
+``trace``      trace-file utilities; ``trace summarize <file>`` prints
+               a per-span wall/self-time table of a Chrome-trace JSONL
+               produced with ``--trace`` / ``REPRO_TRACE``
+
+The global ``--trace PATH`` flag (equivalently the ``REPRO_TRACE``
+environment variable) makes any command emit a Chrome trace_event file
+loadable in Perfetto or ``chrome://tracing``; with the flag unset,
+instrumentation is a no-op (see README "Observability").
 
 ``generate`` and ``evaluate`` also accept ``--server URL`` to route the
 request to a running ``repro serve`` daemon instead of executing
@@ -88,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tensor backend for every numeric op "
                              "(default: $REPRO_BACKEND or 'numpy'; see "
                              "repro.nn.available_backends())")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace_event file of this "
+                             "invocation (open in Perfetto or "
+                             "chrome://tracing; same as REPRO_TRACE=PATH)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="print dataset statistics")
@@ -177,6 +189,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seconds between claim attempts when idle")
     wrk.add_argument("--worker-id", default=None,
                      help="override the autogenerated worker identity")
+    wrk.add_argument("--metrics-file", nargs="?", const="auto",
+                     default=None, metavar="PATH",
+                     help="periodically write a JSON metrics snapshot "
+                          "(job counts, queue depth, runner cache "
+                          "hits/misses); bare flag picks "
+                          "<queue_dir>/metrics/<worker_id>.json, which "
+                          "`repro sweep --status` aggregates")
+    wrk.add_argument("--metrics-interval", type=float, default=None,
+                     help="seconds between snapshots (default: the "
+                          "heartbeat interval)")
     wrk.add_argument("--surrogate-labels", default=True,
                      action=argparse.BooleanOptionalAction)
 
@@ -229,6 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
                       "(nodes, edges, shards, degree histogram) without "
                       "loading any shard resident")
     gst.add_argument("shard_dir")
+
+    trc = sub.add_parser("trace", help="Chrome-trace file utilities")
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    tsm = trc_sub.add_parser(
+        "summarize", help="per-span count/total/self-time table of one "
+                          "or more trace files written via --trace or "
+                          "REPRO_TRACE")
+    tsm.add_argument("files", nargs="+",
+                     help="trace_event JSON(L) files to aggregate")
+    tsm.add_argument("--top", type=int, default=None,
+                     help="only print the N spans with the most total "
+                          "time")
     return parser
 
 
@@ -400,7 +434,75 @@ def _cmd_sweep_status(queue_dir: str) -> int:
                      (job["note"] or "-")[:60]])
     print(format_table(["job", "state", "attempts", "retries", "worker",
                         "lease age", "note"], rows))
+    _print_fleet_metrics(path)
     return 0
+
+
+def _snapshot_total(snap: dict, name: str) -> int:
+    """Sum a counter across its label series in one worker snapshot."""
+    entry = snap.get(name)
+    if not isinstance(entry, dict):
+        return 0
+    value = entry.get("value", 0)
+    if isinstance(value, dict):
+        return int(sum(v for v in value.values()
+                       if isinstance(v, (int, float))))
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
+def _print_fleet_metrics(queue_path) -> None:
+    """Aggregate `repro worker --metrics-file` snapshots, if any exist.
+
+    Workers with the bare ``--metrics-file`` flag drop their registry
+    snapshots under ``<queue_dir>/metrics/``; this section turns them
+    into a fleet dashboard (per-worker claims/requeues plus the
+    registry-backed queue-depth gauge of the freshest snapshot).
+    """
+    import time as _time
+
+    metrics_dir = queue_path / "metrics"
+    if not metrics_dir.is_dir():
+        return
+    snapshots = []
+    for snap_path in sorted(metrics_dir.glob("*.json")):
+        try:
+            snap = json.loads(snap_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue  # a worker may be mid-write; skip, not crash
+        if isinstance(snap, dict):
+            snapshots.append(snap)
+    if not snapshots:
+        return
+    print()
+    print("fleet metrics (worker snapshots):")
+    rows = []
+    for snap in snapshots:
+        taken = snap.get("snapshot_unix_time")
+        age = (f"{max(_time.time() - taken, 0.0):.0f}s"
+               if isinstance(taken, (int, float)) else "-")
+        rows.append([snap.get("worker_id", "?"),
+                     _snapshot_total(snap, "worker_jobs_total"),
+                     _snapshot_total(snap, "jobqueue_claims_total"),
+                     _snapshot_total(snap, "jobqueue_requeues_total"),
+                     _snapshot_total(snap, "jobqueue_lease_expiries_total"),
+                     age])
+    print(format_table(["worker", "jobs", "claims", "requeues",
+                        "lease exp", "snapshot age"], rows))
+    freshest = max(snapshots,
+                   key=lambda s: s.get("snapshot_unix_time") or 0)
+    depth = freshest.get("jobqueue_depth", {})
+    if isinstance(depth, dict) and isinstance(depth.get("value"), dict):
+        states = {}
+        for label_key, value in depth["value"].items():
+            try:
+                state = json.loads(label_key).get("state", label_key)
+            except (json.JSONDecodeError, AttributeError):
+                state = label_key
+            states[state] = int(value)
+        if states:
+            print("queue depth (freshest snapshot): "
+                  + "  ".join(f"{state}={count}"
+                              for state, count in sorted(states.items())))
 
 
 def _cmd_sweep(args) -> int:
@@ -544,7 +646,9 @@ def _cmd_worker(args) -> int:
 
     worker = Worker(args.queue_dir, args.cache_dir,
                     worker_id=args.worker_id,
-                    allow_surrogate=args.surrogate_labels)
+                    allow_surrogate=args.surrogate_labels,
+                    metrics_file=args.metrics_file,
+                    metrics_interval=args.metrics_interval)
     stop = threading.Event()
 
     def on_signal(signum):
@@ -607,6 +711,24 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs.trace import render_summary, summarize_trace
+
+    if args.trace_command == "summarize":
+        try:
+            rows = summarize_trace(args.files)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+        if not rows:
+            print("(no duration events)")
+            return 0
+        if args.top is not None:
+            rows = rows[:args.top]
+        print(render_summary(rows))
+        return 0
+    raise SystemExit(f"unknown trace command {args.trace_command!r}")
+
+
 def _cmd_graph(args) -> int:
     from .graph.sharded import ShardedGraph
 
@@ -642,6 +764,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
     "graph": _cmd_graph,
+    "trace": _cmd_trace,
 }
 
 
@@ -654,6 +777,13 @@ def main(argv: list[str] | None = None) -> int:
             set_backend(args.backend)
         except KeyError as exc:
             raise SystemExit(str(exc)) from exc
+    if args.trace is not None:
+        from .obs import trace as _trace
+
+        try:
+            _trace.enable(args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot open trace file: {exc}") from exc
     return _COMMANDS[args.command](args)
 
 

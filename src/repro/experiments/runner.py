@@ -64,6 +64,8 @@ from ..eval import (mean_discrepancy, overall_discrepancy,
                     protected_discrepancy)
 from ..graph import Graph
 from ..models import GraphGenerativeModel
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..registry import get_entry
 from .supervision import FEW_SHOT_PER_CLASS, Supervision
 
@@ -164,6 +166,13 @@ class RunResult:
     #: ``{"overall": {...}, "overall_mean": float, "protected": ...}``
     #: when the run was executed with ``with_metrics=True``
     metrics: dict | None = None
+    #: raw wall-clock of the *whole* stacked fit this seed rode in (the
+    #: per-seed ``fit_seconds`` is the amortised share, raw / K), and K
+    #: itself — ``None`` for ordinary per-seed fits.  Persisted in the
+    #: sidecar so stacking speedup is reconstructable from sidecars
+    #: alone: ``sum(per-seed sequential fits) / stacked_fit_seconds``.
+    stacked_fit_seconds: float | None = None
+    stacked_size: int | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -206,7 +215,8 @@ class Runner:
     def __init__(self, cache_dir: str | os.PathLike | None = None,
                  allow_surrogate: bool = True,
                  few_shot_per_class: int = FEW_SHOT_PER_CLASS,
-                 checkpoint_interval: float = 30.0):
+                 checkpoint_interval: float = 30.0,
+                 registry: MetricsRegistry | None = None):
         self.cache_dir = (Path(cache_dir).expanduser()
                           if cache_dir is not None else None)
         self.allow_surrogate = allow_surrogate
@@ -214,6 +224,20 @@ class Runner:
         self.checkpoint_interval = float(checkpoint_interval)
         self._memory: dict[ExperimentSpec, RunResult] = {}
         self._datasets: dict[str, object] = {}
+        registry = registry if registry is not None else get_registry()
+        self.registry = registry
+        self._m_hits = registry.counter(
+            "runner_cache_hits_total", "Runner cache hits by layer")
+        self._m_misses = registry.counter(
+            "runner_cache_misses_total", "Runner cache misses (fresh fits)")
+        self._m_fits = registry.counter(
+            "runner_fits_total", "Model fits executed by the Runner")
+        self._m_generates = registry.counter(
+            "runner_generates_total", "Graph generations executed")
+        self._m_fit_seconds = registry.histogram(
+            "runner_fit_seconds", "Wall-clock seconds per Runner fit")
+        self._m_generate_seconds = registry.histogram(
+            "runner_generate_seconds", "Wall-clock seconds per generation")
 
     # ------------------------------------------------------------------
     # Dataset / supervision helpers
@@ -259,6 +283,7 @@ class Runner:
         cached = self._memory.get(spec)
         if cached is not None and (cached.model is not None
                                    or not need_model):
+            self._m_hits.inc(layer="memory")
             if with_metrics:
                 self._ensure_metrics(spec, cached)
             return cached
@@ -266,9 +291,11 @@ class Runner:
         disk = self._load_from_disk(spec, with_metrics,
                                     need_model=need_model)
         if disk is not None:
+            self._m_hits.inc(layer="disk")
             self._memory[spec] = disk
             return disk
 
+        self._m_misses.inc()
         result = self._execute(spec)
         # Carry metrics already computed for this artifact (in memory or
         # in the cache sidecar) across a need_model refit.
@@ -455,20 +482,37 @@ class Runner:
                 min_save_interval=self.checkpoint_interval,
                 tag=self._stamp(specs[0]))
 
+        head = specs[0]
         start = time.perf_counter()
-        type(models[0]).fit_stacked(models, data.graph, rngs,
-                                    control=control)
-        # The stack shares one fit; bill each seed its amortised share.
-        fit_seconds = (time.perf_counter() - start) / len(specs)
+        with trace.span("runner.fit_stacked", model=head.model,
+                        dataset=head.dataset, stack=len(specs)):
+            type(models[0]).fit_stacked(models, data.graph, rngs,
+                                        control=control)
+        # The stack shares one fit; bill each seed its amortised share,
+        # but keep the raw wall clock too so the speedup over K
+        # sequential fits is reconstructable from sidecars alone.
+        stacked_seconds = time.perf_counter() - start
+        fit_seconds = stacked_seconds / len(specs)
+        self._m_fits.inc(len(specs), model=head.model)
+        self._m_fit_seconds.observe(stacked_seconds, model=head.model)
+        self.registry.counter(
+            "runner_stacked_fits_total",
+            "Seed-stacked fit programs executed").inc(model=head.model)
 
         for spec, model, rng in zip(specs, models, rngs):
             start = time.perf_counter()
-            generated = model.generate(rng)
+            with trace.span("runner.generate", model=spec.model,
+                            dataset=spec.dataset, seed=spec.seed):
+                generated = model.generate(rng)
             generate_seconds = time.perf_counter() - start
+            self._m_generates.inc(model=spec.model)
+            self._m_generate_seconds.observe(generate_seconds,
+                                             model=spec.model)
             self._store(spec, RunResult(
                 spec=spec, generated=generated, fit_seconds=fit_seconds,
                 generate_seconds=generate_seconds, from_cache=False,
-                model=model))
+                model=model, stacked_fit_seconds=stacked_seconds,
+                stacked_size=len(specs)))
         if control is not None:
             Path(control.checkpoint_path).unlink(missing_ok=True)
 
@@ -552,16 +596,25 @@ class Runner:
         rng = spec.rng(stream=0)
 
         start = time.perf_counter()
-        if entry.needs_supervision:
-            supervision = self.supervision_for(spec)
-            model.fit(data.graph, rng, supervision=supervision)
-        else:
-            model.fit(data.graph, rng)
+        with trace.span("runner.fit", model=spec.model,
+                        dataset=spec.dataset, profile=spec.profile,
+                        seed=spec.seed):
+            if entry.needs_supervision:
+                supervision = self.supervision_for(spec)
+                model.fit(data.graph, rng, supervision=supervision)
+            else:
+                model.fit(data.graph, rng)
         fit_seconds = time.perf_counter() - start
+        self._m_fits.inc(model=spec.model)
+        self._m_fit_seconds.observe(fit_seconds, model=spec.model)
 
         start = time.perf_counter()
-        generated = model.generate(rng)
+        with trace.span("runner.generate", model=spec.model,
+                        dataset=spec.dataset, seed=spec.seed):
+            generated = model.generate(rng)
         generate_seconds = time.perf_counter() - start
+        self._m_generates.inc(model=spec.model)
+        self._m_generate_seconds.observe(generate_seconds, model=spec.model)
 
         return RunResult(spec=spec, generated=generated,
                          fit_seconds=fit_seconds,
@@ -691,12 +744,20 @@ class Runner:
         except (ValueError, KeyError, OSError, json.JSONDecodeError,
                 zipfile.BadZipFile):
             return None  # corrupt entry: treat as a miss and recompute
+        stacked = metadata.get("stacked_fit_seconds")
+        stacked_size = metadata.get("stacked_size")
         result = RunResult(spec=spec, generated=generated,
                            fit_seconds=float(metadata["fit_seconds"]),
                            generate_seconds=float(
                                metadata["generate_seconds"]),
                            from_cache=True, model=model,
-                           metrics=metadata.get("metrics"))
+                           metrics=metadata.get("metrics"),
+                           stacked_fit_seconds=(float(stacked)
+                                                if stacked is not None
+                                                else None),
+                           stacked_size=(int(stacked_size)
+                                         if stacked_size is not None
+                                         else None))
         if with_metrics:
             self._ensure_metrics(spec, result)
         return result
@@ -736,6 +797,12 @@ class Runner:
             "num_edges": result.generated.num_edges,
             "metrics": result.metrics,
         }
+        if result.stacked_fit_seconds is not None:
+            # Raw wall clock of the whole stacked fit (fit_seconds above
+            # is the amortised share): speedup = K * mean(sequential
+            # fit_seconds) / stacked_fit_seconds, from sidecars alone.
+            metadata["stacked_fit_seconds"] = result.stacked_fit_seconds
+            metadata["stacked_size"] = result.stacked_size
         if metadata["metrics"] is None:
             # e.g. a need_model=True refit: don't erase metrics a prior
             # with_metrics run already paid for on the same artifact.

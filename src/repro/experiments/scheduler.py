@@ -62,6 +62,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry
 from .runner import ExperimentSpec, Runner
 from .supervision import FEW_SHOT_PER_CLASS
 
@@ -130,7 +132,25 @@ class JobQueue:
 
     def __init__(self, queue_dir: str | os.PathLike,
                  lease_timeout: float | None = None,
-                 max_retries: int | None = None):
+                 max_retries: int | None = None,
+                 registry: MetricsRegistry | None = None):
+        registry = registry if registry is not None else get_registry()
+        self.registry = registry
+        self._m_submitted = registry.counter(
+            "jobqueue_submitted_total", "Jobs enqueued")
+        self._m_claims = registry.counter(
+            "jobqueue_claims_total", "Successful job claims")
+        self._m_requeues = registry.counter(
+            "jobqueue_requeues_total", "Attempts returned to pending")
+        self._m_lease_expiries = registry.counter(
+            "jobqueue_lease_expiries_total",
+            "Leases found expired by recover()")
+        self._m_completions = registry.counter(
+            "jobqueue_completions_total", "Jobs completed")
+        self._m_failures = registry.counter(
+            "jobqueue_failures_total", "Jobs terminally failed")
+        self._m_depth = registry.gauge(
+            "jobqueue_depth", "Jobs per state at last scan")
         self.queue_dir = Path(queue_dir).expanduser()
         for state in (*_STATES, "leases", "tmp"):
             (self.queue_dir / state).mkdir(parents=True, exist_ok=True)
@@ -230,6 +250,7 @@ class JobQueue:
             tmp.write_text(json.dumps(payload, indent=2, default=str))
             os.replace(tmp, self._path("pending", job_id))
             failed_path.unlink(missing_ok=True)
+            self._m_submitted.inc()
         return ids
 
     # ------------------------------------------------------------------
@@ -264,6 +285,7 @@ class JobQueue:
             payload["attempts"] = int(payload.get("attempts", 0)) + 1
             self._write_lease(job_id, worker_id, payload["attempts"])
             self._write_json(dst, payload)
+            self._m_claims.inc()
             return Job(id=job_id,
                        spec=_spec_from_payload(payload["spec"]),
                        need_model=bool(payload.get("need_model")),
@@ -317,6 +339,7 @@ class JobQueue:
         payload["completed_at"] = time.time()
         self._write_json(dst, payload)
         (self.queue_dir / "leases" / f"{job_id}.json").unlink(missing_ok=True)
+        self._m_completions.inc()
         return True
 
     def fail(self, job_id: str, worker_id: str, message: str) -> str:
@@ -342,6 +365,7 @@ class JobQueue:
                       self._path("pending", job_id))
         except FileNotFoundError:
             return "lost"
+        self._m_requeues.inc(reason="error")
         return "requeued"
 
     def _finalise(self, job_id: str, payload: dict, message: str) -> str:
@@ -355,6 +379,7 @@ class JobQueue:
                       self._path("failed", job_id))
         except FileNotFoundError:
             return "lost"
+        self._m_failures.inc()
         return "failed"
 
     # ------------------------------------------------------------------
@@ -390,6 +415,7 @@ class JobQueue:
             payload = self._read_json(self._path("claimed", job_id))
             if payload is None:
                 continue  # raced with a completion; nothing to recover
+            self._m_lease_expiries.inc()
             attempts = int(payload.get("attempts", 1))
             note = (f"lease expired after attempt {attempts} "
                     f"(no heartbeat for > {self.lease_timeout:g}s)")
@@ -409,6 +435,7 @@ class JobQueue:
                           self._path("pending", job_id))
             except FileNotFoundError:
                 continue  # the (slow) owner completed it after all
+            self._m_requeues.inc(reason="lease_expired")
             requeued.append(job_id)
         return requeued
 
@@ -417,7 +444,10 @@ class JobQueue:
     # ------------------------------------------------------------------
     def counts(self) -> dict[str, int]:
         """Number of jobs per state."""
-        return {state: len(self._job_ids(state)) for state in _STATES}
+        counts = {state: len(self._job_ids(state)) for state in _STATES}
+        for state, count in counts.items():
+            self._m_depth.set(count, state=state)
+        return counts
 
     def status(self) -> dict:
         """Read-only dashboard snapshot: state counts + per-job detail.
@@ -546,7 +576,9 @@ class Worker:
                  worker_id: str | None = None,
                  heartbeat_interval: float | None = None,
                  allow_surrogate: bool = True,
-                 few_shot_per_class: int = FEW_SHOT_PER_CLASS):
+                 few_shot_per_class: int = FEW_SHOT_PER_CLASS,
+                 metrics_file: str | os.PathLike | None = None,
+                 metrics_interval: float | None = None):
         self.queue = queue if isinstance(queue, JobQueue) else JobQueue(queue)
         if worker_id is None:
             worker_id = (f"{socket.gethostname()}-{os.getpid()}-"
@@ -555,6 +587,18 @@ class Worker:
         if heartbeat_interval is None:
             heartbeat_interval = max(self.queue.lease_timeout / 4.0, 0.05)
         self.heartbeat_interval = heartbeat_interval
+        # Fleet telemetry: merge-update a JSON snapshot of the queue's
+        # registry on the heartbeat cadence.  "auto" places it where
+        # `repro sweep --status` looks: <queue_dir>/metrics/<worker>.json.
+        if metrics_file == "auto":
+            metrics_file = (self.queue.queue_dir / "metrics"
+                            / f"{worker_id}.json")
+        self.metrics_file = (Path(metrics_file)
+                             if metrics_file is not None else None)
+        self.metrics_interval = (metrics_interval if metrics_interval
+                                 is not None else heartbeat_interval)
+        self._m_jobs = self.queue.registry.counter(
+            "worker_jobs_total", "Job attempts per outcome")
         # Checkpoint on the heartbeat cadence: a worker that dies mid-fit
         # leaves a <key>.ckpt.npz in the shared cache at most one
         # heartbeat old, so whoever re-claims the job after lease expiry
@@ -589,11 +633,17 @@ class Worker:
         """
         stats = {"completed": 0, "failed": 0, "requeued": 0, "lost": 0}
         executed = 0
+        last_snapshot = 0.0
         while max_jobs is None or executed < max_jobs:
             if stop is not None and stop.is_set():
                 break
             self.queue.recover()
             job = self.queue.claim(self.worker_id)
+            if self.metrics_file is not None and (
+                    time.monotonic() - last_snapshot
+                    >= self.metrics_interval):
+                self.write_metrics_snapshot()
+                last_snapshot = time.monotonic()
             if job is None:
                 if self.queue.drained() and not keep_alive:
                     break
@@ -603,8 +653,23 @@ class Worker:
                     time.sleep(poll_interval)
                 continue
             executed += 1
-            stats[self._execute(job)] += 1
+            outcome = self._execute(job)
+            stats[outcome] += 1
+            self._m_jobs.inc(outcome=outcome)
+        if self.metrics_file is not None:
+            self.write_metrics_snapshot()
         return stats
+
+    def write_metrics_snapshot(self) -> None:
+        """Merge-update this worker's registry snapshot on disk."""
+        if self.metrics_file is None:
+            return
+        self.queue.counts()  # refresh the queue-depth gauge first
+        try:
+            self.queue.registry.write_snapshot(
+                self.metrics_file, worker_id=self.worker_id)
+        except OSError:
+            pass  # telemetry must never take a worker down
 
     # ------------------------------------------------------------------
     def _execute(self, job: Job) -> str:
@@ -613,8 +678,11 @@ class Worker:
                                 args=(job.id, stop), daemon=True)
         beat.start()
         try:
-            result = self.runner.run(job.spec, need_model=job.need_model,
-                                     with_metrics=job.with_metrics)
+            with trace.span("worker.job", job=job.id,
+                            attempt=job.attempts):
+                result = self.runner.run(job.spec,
+                                         need_model=job.need_model,
+                                         with_metrics=job.with_metrics)
         except Exception:
             stop.set()
             beat.join()

@@ -45,6 +45,9 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..obs import trace
+from ..obs.metrics import get_registry
+
 __all__ = ["ShardedGraph", "ShardCSR", "ingest_edge_stream",
            "ingest_graph", "ingest_edge_file", "edge_chunks_from_csr",
            "MANIFEST_FORMAT"]
@@ -54,6 +57,27 @@ MANIFEST_FORMAT = "sharded-csr-v1"
 
 #: default undirected edges per streamed chunk
 DEFAULT_CHUNK_EDGES = 1 << 18
+
+
+class _ShardMetrics:
+    """Lazily created default-registry counters for the shard LRU."""
+
+    _instance = None
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        self.fetches = registry.counter(
+            "sharded_shard_fetches_total",
+            "Shard LRU (re-)entries (loads + re-admissions)")
+        self.evictions = registry.counter(
+            "sharded_shard_evictions_total",
+            "Shards evicted from the resident LRU")
+
+
+def _shard_metrics() -> _ShardMetrics:
+    if _ShardMetrics._instance is None:
+        _ShardMetrics._instance = _ShardMetrics()
+    return _ShardMetrics._instance
 
 
 # ----------------------------------------------------------------------
@@ -455,15 +479,18 @@ class ShardedGraph:
             return shard
         shard = self._shard_cache.get(shard_id)
         if shard is None:
-            arrays = self._map_shard(shard_id)
-            shard = ShardCSR(shard_id, int(self.shard_starts[shard_id]),
-                             int(self.shard_starts[shard_id + 1]), arrays,
-                             self.num_nodes)
+            with trace.span("shard.fetch", shard=shard_id):
+                arrays = self._map_shard(shard_id)
+                shard = ShardCSR(shard_id,
+                                 int(self.shard_starts[shard_id]),
+                                 int(self.shard_starts[shard_id + 1]),
+                                 arrays, self.num_nodes)
             if shard_id in self._buffers:
                 # views alias a long-lived mapping: reuse across evictions
                 self._shard_cache[shard_id] = shard
         self._residents[shard_id] = shard
         self.shard_loads += 1
+        _shard_metrics().fetches.inc()
         while len(self._residents) > self.max_resident:
             self._evict(*self._residents.popitem(last=False))
         return shard
@@ -473,10 +500,12 @@ class ShardedGraph:
         state and release its mapped pages back to the OS.  The mapping
         itself survives, so the next :meth:`shard` call pays only page
         re-faults (served from the page cache while the shard is hot)."""
-        shard._edge_keys = None
-        buf = self._buffers.get(shard_id)
-        if buf is not None and hasattr(_mmap, "MADV_DONTNEED"):
-            buf.madvise(_mmap.MADV_DONTNEED)
+        with trace.span("shard.evict", shard=shard_id):
+            shard._edge_keys = None
+            buf = self._buffers.get(shard_id)
+            if buf is not None and hasattr(_mmap, "MADV_DONTNEED"):
+                buf.madvise(_mmap.MADV_DONTNEED)
+        _shard_metrics().evictions.inc()
 
     def _map_shard(self, shard_id: int) -> dict[str, np.ndarray]:
         """Read-only views of one shard's arrays, mapped off disk.

@@ -33,6 +33,7 @@ from typing import Sequence, TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import trace
 from .graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -150,8 +151,10 @@ class WalkEngine:
         walks = np.empty((starts.size, length), dtype=np.int64)
         walks[:, 0] = starts
         cur = starts.copy()
-        for t in range(1, length):
-            walks[:, t] = self._uniform_step(cur, rng)
+        with trace.span("walks.uniform", walks=int(starts.size),
+                        length=length):
+            for t in range(1, length):
+                walks[:, t] = self._uniform_step(cur, rng)
         return walks
 
     def node2vec_walks(self, starts: np.ndarray, length: int,
@@ -176,36 +179,48 @@ class WalkEngine:
         if length == 1:
             return walks
         cur = starts.copy()
-        walks[:, 1] = self._uniform_step(cur, rng)
         if p == 1.0 and q == 1.0:
-            for t in range(2, length):
-                walks[:, t] = self._uniform_step(cur, rng)
+            with trace.span("walks.uniform", walks=int(starts.size),
+                            length=length):
+                for t in range(1, length):
+                    walks[:, t] = self._uniform_step(cur, rng)
             return walks
+        walks[:, 1] = self._uniform_step(cur, rng)
         inv_p, inv_q = 1.0 / p, 1.0 / q
         w_max = max(inv_p, 1.0, inv_q)
-        for t in range(2, length):
-            prev = walks[:, t - 2]
-            nxt = cur.copy()
-            pending = np.flatnonzero(self.degrees[cur] > 0)
-            rounds = 0
-            while pending.size:
-                if rounds >= self.max_rejection_rounds:
-                    self._exact_biased_steps(cur, prev, pending, nxt, rng,
-                                             inv_p, inv_q)
-                    break
-                src = cur[pending]
-                offsets = rng.integers(self.degrees[src])
-                candidates = self.indices[self.indptr[src] + offsets]
-                weights = np.where(
-                    candidates == prev[pending], inv_p,
-                    np.where(self.has_edges(candidates, prev[pending]),
-                             1.0, inv_q))
-                accepted = rng.random(pending.size) * w_max < weights
-                nxt[pending[accepted]] = candidates[accepted]
-                pending = pending[~accepted]
-                rounds += 1
-            cur = nxt
-            walks[:, t] = cur
+        total_rounds = 0
+        exact_fallbacks = 0
+        with trace.span("walks.biased", walks=int(starts.size),
+                        length=length, p=p, q=q) as sp:
+            for t in range(2, length):
+                prev = walks[:, t - 2]
+                nxt = cur.copy()
+                pending = np.flatnonzero(self.degrees[cur] > 0)
+                rounds = 0
+                while pending.size:
+                    if rounds >= self.max_rejection_rounds:
+                        with trace.span("walks.exact_fallback",
+                                        stragglers=int(pending.size), t=t):
+                            self._exact_biased_steps(cur, prev, pending,
+                                                     nxt, rng, inv_p, inv_q)
+                        exact_fallbacks += 1
+                        break
+                    src = cur[pending]
+                    offsets = rng.integers(self.degrees[src])
+                    candidates = self.indices[self.indptr[src] + offsets]
+                    weights = np.where(
+                        candidates == prev[pending], inv_p,
+                        np.where(self.has_edges(candidates, prev[pending]),
+                                 1.0, inv_q))
+                    accepted = rng.random(pending.size) * w_max < weights
+                    nxt[pending[accepted]] = candidates[accepted]
+                    pending = pending[~accepted]
+                    rounds += 1
+                total_rounds += rounds
+                cur = nxt
+                walks[:, t] = cur
+            sp.set(rejection_rounds=total_rounds,
+                   exact_fallbacks=exact_fallbacks)
         return walks
 
     #: peak cells (walks x padded degree) per straggler batch; bounds the
@@ -453,8 +468,10 @@ class ShardedWalkEngine:
         walks = np.empty((starts.size, length), dtype=np.int64)
         walks[:, 0] = starts
         cur = starts.copy()
-        for t in range(1, length):
-            walks[:, t] = self._uniform_step(cur, rng)
+        with trace.span("walks.uniform", walks=int(starts.size),
+                        length=length, engine="sharded"):
+            for t in range(1, length):
+                walks[:, t] = self._uniform_step(cur, rng)
         return walks
 
     def node2vec_walks(self, starts: np.ndarray, length: int,
@@ -472,23 +489,29 @@ class ShardedWalkEngine:
         if length == 1:
             return walks
         cur = starts.copy()
-        walks[:, 1] = self._uniform_step(cur, rng)
         if p == 1.0 and q == 1.0:
-            for t in range(2, length):
-                walks[:, t] = self._uniform_step(cur, rng)
+            with trace.span("walks.uniform", walks=int(starts.size),
+                            length=length, engine="sharded"):
+                for t in range(1, length):
+                    walks[:, t] = self._uniform_step(cur, rng)
             return walks
+        walks[:, 1] = self._uniform_step(cur, rng)
         inv_p, inv_q = 1.0 / p, 1.0 / q
         w_max = max(inv_p, 1.0, inv_q)
-        for t in range(2, length):
-            prev = walks[:, t - 2]
-            nxt = cur.copy()
-            for shard_id, members in self._buckets(
-                    cur, self.degrees[cur] > 0):
-                self._biased_bucket_step(
-                    self.graph.shard(shard_id), cur, prev, members, nxt,
-                    rng, inv_p, inv_q, w_max)
-            cur = nxt
-            walks[:, t] = cur
+        with trace.span("walks.biased", walks=int(starts.size),
+                        length=length, p=p, q=q, engine="sharded"):
+            for t in range(2, length):
+                prev = walks[:, t - 2]
+                nxt = cur.copy()
+                buckets = self._buckets(cur, self.degrees[cur] > 0)
+                with trace.span("walks.frontier", t=t,
+                                buckets=len(buckets)):
+                    for shard_id, members in buckets:
+                        self._biased_bucket_step(
+                            self.graph.shard(shard_id), cur, prev,
+                            members, nxt, rng, inv_p, inv_q, w_max)
+                cur = nxt
+                walks[:, t] = cur
         return walks
 
     def _biased_bucket_step(self, shard, cur: np.ndarray,

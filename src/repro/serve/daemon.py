@@ -36,6 +36,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry
 from .engine import ContinuousBatcher, serve_walks
 
 __all__ = ["ModelHouse", "AdmissionControl", "ServeDaemon", "ServeError"]
@@ -81,13 +83,15 @@ class _Resident:
     __slots__ = ("key", "model", "walk_model", "default_length",
                  "starts_fn", "engine")
 
-    def __init__(self, key: str, model, *, max_walks: int) -> None:
+    def __init__(self, key: str, model, *, max_walks: int,
+                 registry: MetricsRegistry | None = None) -> None:
         self.key = key
         self.model = model
         self.walk_model, self.default_length, self.starts_fn = \
             _walk_interface(model)
         self.engine = ContinuousBatcher(self.walk_model,
-                                        max_walks=max_walks)
+                                        max_walks=max_walks,
+                                        registry=registry, name=key)
 
 
 class ModelHouse:
@@ -104,7 +108,8 @@ class ModelHouse:
     """
 
     def __init__(self, cache_dir: str | Path | None, *,
-                 max_models: int = 4, max_walks: int = 256) -> None:
+                 max_models: int = 4, max_walks: int = 256,
+                 registry: MetricsRegistry | None = None) -> None:
         if max_models < 1:
             raise ValueError("max_models must be >= 1")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -112,12 +117,33 @@ class ModelHouse:
         self.max_walks = max_walks
         self._residents: OrderedDict[str, _Resident] = OrderedDict()
         self._lock = threading.Lock()
-        self.loads = 0
-        self.evictions = 0
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._m_loads = self.registry.counter(
+            "serve_models_loaded_total",
+            "Models loaded from the artifact cache")
+        self._m_evictions = self.registry.counter(
+            "serve_models_evicted_total", "Resident models LRU-evicted")
+        self._m_hits = self.registry.counter(
+            "serve_model_hits_total",
+            "Requests answered by an already-resident model")
+
+    @property
+    def loads(self) -> int:
+        return int(self._m_loads.value())
+
+    @property
+    def evictions(self) -> int:
+        return int(self._m_evictions.value())
+
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value())
 
     def adopt(self, key: str, model) -> None:
         """Install an in-process model under ``key`` (tests, benches)."""
-        resident = _Resident(key, model, max_walks=self.max_walks)
+        resident = _Resident(key, model, max_walks=self.max_walks,
+                             registry=self.registry)
         with self._lock:
             self._residents[key] = resident
             self._residents.move_to_end(key)
@@ -128,15 +154,18 @@ class ModelHouse:
             resident = self._residents.get(key)
             if resident is not None:
                 self._residents.move_to_end(key)
+                self._m_hits.inc()
                 return resident
         # Load outside the lock (disk + graph build can take a while);
         # a racing duplicate load is harmless — last one wins the slot.
-        resident = _Resident(key, self._load(key),
-                             max_walks=self.max_walks)
+        with trace.span("serve.model_load", model=key):
+            resident = _Resident(key, self._load(key),
+                                 max_walks=self.max_walks,
+                                 registry=self.registry)
         with self._lock:
             self._residents[key] = resident
             self._residents.move_to_end(key)
-            self.loads += 1
+            self._m_loads.inc()
             self._shrink()
         return resident
 
@@ -174,7 +203,7 @@ class ModelHouse:
             if victim is None:
                 return  # everyone is decoding; retry on the next access
             del self._residents[victim]
-            self.evictions += 1
+            self._m_evictions.inc()
 
     def engines(self) -> list[ContinuousBatcher]:
         with self._lock:
@@ -195,16 +224,27 @@ class AdmissionControl:
     bound — the client, not the server, holds the backlog.
     """
 
-    def __init__(self, max_inflight: int = 8, queue_depth: int = 16) -> None:
+    def __init__(self, max_inflight: int = 8, queue_depth: int = 16,
+                 registry: MetricsRegistry | None = None) -> None:
         if max_inflight < 1 or queue_depth < 0:
             raise ValueError("need max_inflight >= 1 and queue_depth >= 0")
         self.max_inflight = max_inflight
         self.queue_depth = queue_depth
         self._lock = threading.Lock()
         self._in_system = 0
-        self.accepted = 0
-        self.rejected = 0
-        self.completed = 0
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._m_accepted = self.registry.counter(
+            "serve_admission_accepted_total", "Requests admitted")
+        self._m_rejected = self.registry.counter(
+            "serve_admission_rejected_total",
+            "Requests rejected with 429 (admission queue full)")
+        self._m_completed = self.registry.counter(
+            "serve_admission_completed_total",
+            "Admitted requests that left the system")
+        self._g_in_system = self.registry.gauge(
+            "serve_admission_in_system",
+            "Requests currently in the system (decoding + queued)")
 
     @property
     def limit(self) -> int:
@@ -214,19 +254,33 @@ class AdmissionControl:
     def in_system(self) -> int:
         return self._in_system
 
+    @property
+    def accepted(self) -> int:
+        return int(self._m_accepted.value())
+
+    @property
+    def rejected(self) -> int:
+        return int(self._m_rejected.value())
+
+    @property
+    def completed(self) -> int:
+        return int(self._m_completed.value())
+
     def enter(self) -> bool:
         with self._lock:
             if self._in_system >= self.limit:
-                self.rejected += 1
+                self._m_rejected.inc()
                 return False
             self._in_system += 1
-            self.accepted += 1
+            self._g_in_system.set(self._in_system)
+            self._m_accepted.inc()
             return True
 
     def leave(self) -> None:
         with self._lock:
             self._in_system -= 1
-            self.completed += 1
+            self._g_in_system.set(self._in_system)
+            self._m_completed.inc()
 
     def retry_after(self) -> int:
         """Crude backoff hint: a second per queued-beyond-target batch."""
@@ -268,9 +322,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: dict,
                headers: dict | None = None) -> None:
-        body = json.dumps(payload).encode()
+        self._reply_raw(status, json.dumps(payload).encode(),
+                        "application/json", headers)
+
+    def _reply_raw(self, status: int, body: bytes, content_type: str,
+                   headers: dict | None = None) -> None:
+        self.server.daemon._m_responses.inc(status=str(status))
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -296,6 +355,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, self.server.daemon.healthz())
             elif self.path == "/stats":
                 self._reply(200, self.server.daemon.stats())
+            elif self.path == "/metrics":
+                text = self.server.daemon.registry.render_prometheus()
+                self._reply_raw(200, text.encode(),
+                                "text/plain; version=0.0.4")
             else:
                 raise ServeError(404, f"no route {self.path!r}")
         except ServeError as exc:
@@ -303,8 +366,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         daemon = self.server.daemon
+        route = self.path
+        started = time.perf_counter()
         try:
-            if self.path == "/generate":
+            if route == "/generate":
                 body = self._read_body()
                 if not daemon.admission.enter():
                     self._reply(
@@ -313,19 +378,29 @@ class _Handler(BaseHTTPRequestHandler):
                         {"Retry-After": str(daemon.admission.retry_after())})
                     return
                 try:
-                    self._reply(200, daemon.generate(body))
+                    with trace.span("serve.request", route=route):
+                        payload = daemon.generate(body)
+                    self._reply(200, payload)
                 finally:
                     daemon.admission.leave()
-            elif self.path == "/evaluate":
-                self._reply(200, daemon.evaluate(self._read_body()))
+            elif route == "/evaluate":
+                with trace.span("serve.request", route=route):
+                    payload = daemon.evaluate(self._read_body())
+                self._reply(200, payload)
             else:
-                raise ServeError(404, f"no route {self.path!r}")
+                raise ServeError(404, f"no route {route!r}")
         except ServeError as exc:
             self._reply(exc.status, {"error": str(exc)})
         except TimeoutError as exc:
             self._reply(504, {"error": str(exc)})
         except Exception as exc:  # don't kill the connection thread
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            # Clamp unknown paths to one label value: clients must not be
+            # able to mint unbounded label cardinality.
+            label = route if route in ("/generate", "/evaluate") else "other"
+            daemon._h_latency.observe(time.perf_counter() - started,
+                                      route=label)
 
 
 class _Server(ThreadingHTTPServer):
@@ -351,11 +426,24 @@ class ServeDaemon:
                  max_models: int = 4, max_walks: int = 256,
                  max_inflight: int = 8, queue_depth: int = 16,
                  request_timeout: float = 120.0,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 registry: MetricsRegistry | None = None) -> None:
+        # The daemon defaults to the process-wide registry so one
+        # `GET /metrics` scrape covers every layer (engines, admission,
+        # Runner, Trainer); pass a private registry to isolate.
+        self.registry = registry if registry is not None else get_registry()
         self.house = ModelHouse(cache_dir, max_models=max_models,
-                                max_walks=max_walks)
+                                max_walks=max_walks,
+                                registry=self.registry)
         self.admission = AdmissionControl(max_inflight=max_inflight,
-                                          queue_depth=queue_depth)
+                                          queue_depth=queue_depth,
+                                          registry=self.registry)
+        self._m_responses = self.registry.counter(
+            "serve_http_responses_total",
+            "HTTP responses sent, by status code")
+        self._h_latency = self.registry.histogram(
+            "serve_request_seconds",
+            "Wall-clock seconds per POST request, by route")
         self.request_timeout = request_timeout
         self.verbose = verbose
         self.started_at = time.monotonic()
@@ -570,5 +658,6 @@ class ServeDaemon:
                 "models": {"resident": list(engines),
                            "max_models": self.house.max_models,
                            "loads": self.house.loads,
+                           "hits": self.house.hits,
                            "evictions": self.house.evictions},
                 "engines": engines}

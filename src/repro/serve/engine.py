@@ -51,8 +51,13 @@ import numpy as np
 from ..nn.attention import LayerKVCache
 from ..nn.backend import active as _backend
 from ..nn.inference import WalkDecoder, _WalkWeights
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ContinuousBatcher", "WalkTicket", "EngineStats", "serve_walks"]
+
+#: powers-of-two row-occupancy buckets for the batch histogram
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 class WalkTicket:
@@ -136,22 +141,96 @@ class _ActiveRequest:
 
 
 class EngineStats:
-    """Monotone counters of one engine's lifetime (for ``/stats``)."""
+    """Monotone counters of one engine's lifetime (for ``/stats``).
 
-    __slots__ = ("submitted", "admitted", "completed", "cancelled",
-                 "steps", "rows_decoded", "peak_batch")
+    Registry-backed: each counter is a labeled series
+    (``engine=<name>``) in a :class:`MetricsRegistry` — a private
+    registry by default, so engines constructed directly (tests,
+    benchmarks) never share counts; the daemon passes its own registry
+    so every engine's series lands on ``GET /metrics``.
 
-    def __init__(self) -> None:
-        self.submitted = 0
-        self.admitted = 0
-        self.completed = 0
-        self.cancelled = 0
-        self.steps = 0
-        self.rows_decoded = 0
-        self.peak_batch = 0
+    Every mutation goes through the registry lock.  This also closes
+    the one real race of the hand-rolled int counters: ``submit()``
+    runs on arbitrary HTTP handler threads under ThreadingHTTPServer,
+    so its ``submitted += 1`` read-modify-write could drop increments;
+    all the other counters only ever moved on the decode thread.
+    """
+
+    _FIELDS = ("submitted", "admitted", "completed", "cancelled",
+               "steps", "rows_decoded")
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 engine: str = "engine") -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self.engine = engine
+        self._counters = {
+            "submitted": registry.counter(
+                "serve_engine_submitted_total", "Walk requests submitted"),
+            "admitted": registry.counter(
+                "serve_engine_admitted_total",
+                "Requests admitted into the decode batch"),
+            "completed": registry.counter(
+                "serve_engine_completed_total", "Requests fulfilled"),
+            "cancelled": registry.counter(
+                "serve_engine_cancelled_total",
+                "Requests cancelled before admission"),
+            "steps": registry.counter(
+                "serve_engine_steps_total", "Fused decode steps"),
+            "rows_decoded": registry.counter(
+                "serve_engine_rows_decoded_total",
+                "Walk rows advanced across all decode steps"),
+        }
+        self._peak = registry.gauge(
+            "serve_engine_peak_batch", "Peak decode-batch row occupancy")
+        self._batch_rows = registry.histogram(
+            "serve_engine_batch_rows",
+            "Decode-batch row occupancy per step", buckets=_BATCH_BUCKETS)
+
+    def note(self, field: str, amount: int = 1) -> None:
+        self._counters[field].inc(amount, engine=self.engine)
+
+    def note_step(self, batch: int) -> None:
+        self._counters["steps"].inc(engine=self.engine)
+        self._counters["rows_decoded"].inc(batch, engine=self.engine)
+        self._peak.set_max(batch, engine=self.engine)
+        self._batch_rows.observe(batch, engine=self.engine)
+
+    def _value(self, field: str) -> int:
+        return int(self._counters[field].value(engine=self.engine))
+
+    @property
+    def submitted(self) -> int:
+        return self._value("submitted")
+
+    @property
+    def admitted(self) -> int:
+        return self._value("admitted")
+
+    @property
+    def completed(self) -> int:
+        return self._value("completed")
+
+    @property
+    def cancelled(self) -> int:
+        return self._value("cancelled")
+
+    @property
+    def steps(self) -> int:
+        return self._value("steps")
+
+    @property
+    def rows_decoded(self) -> int:
+        return self._value("rows_decoded")
+
+    @property
+    def peak_batch(self) -> int:
+        return int(self._peak.value(engine=self.engine))
 
     def as_dict(self) -> dict:
-        return {name: getattr(self, name) for name in self.__slots__}
+        out = {name: self._value(name) for name in self._FIELDS}
+        out["peak_batch"] = self.peak_batch
+        return out
 
 
 class ContinuousBatcher:
@@ -174,7 +253,9 @@ class ContinuousBatcher:
     :meth:`run` loop the daemon uses).
     """
 
-    def __init__(self, model, *, max_walks: int = 256) -> None:
+    def __init__(self, model, *, max_walks: int = 256,
+                 registry: MetricsRegistry | None = None,
+                 name: str = "engine") -> None:
         if max_walks < 1:
             raise ValueError("max_walks must be >= 1")
         self._model = model
@@ -186,7 +267,7 @@ class ContinuousBatcher:
             LayerKVCache(capacity=self._weights.positions.shape[0])
             for _ in self._weights.blocks]
         self._work = threading.Event()
-        self.stats = EngineStats()
+        self.stats = EngineStats(registry, name)
 
     # ------------------------------------------------------------------
     # Submission
@@ -224,7 +305,8 @@ class ContinuousBatcher:
         ticket = WalkTicket(n_walks, length)
         self._pending.append((ticket, n_walks, length, temperature, rng,
                               starts))
-        self.stats.submitted += 1
+        # Registry-locked: submit() runs on arbitrary caller threads.
+        self.stats.note("submitted")
         self._work.set()
         return ticket
 
@@ -255,14 +337,14 @@ class ContinuousBatcher:
             ticket = self._pending[0][0]
             if ticket.cancelled:
                 self._pending.popleft()
-                self.stats.cancelled += 1
+                self.stats.note("cancelled")
                 continue
             if self._active and \
                     self.active_walks + self._pending[0][1] > self.max_walks:
                 break
             ticket, n, length, temperature, rng, starts = \
                 self._pending.popleft()
-            self.stats.admitted += 1
+            self.stats.note("admitted")
             # Replay the standalone ``sample`` flow exactly: build the
             # prompt, prefill it in isolation, draw the first token from
             # the request's own RNG — then join the shared batch.
@@ -270,16 +352,17 @@ class ContinuousBatcher:
             if tokens.shape[1] >= length + 1:
                 # starts pinned and length == 1: nothing to decode.
                 ticket._finish(tokens[:, 1:])
-                self.stats.completed += 1
+                self.stats.note("completed")
                 continue
-            decoder = WalkDecoder(model)
-            logits = decoder.prefill(tokens)
-            next_ids = model._sample_step(logits, temperature,
-                                          model.num_nodes, rng)
+            with trace.span("serve.prefill", walks=n, length=length):
+                decoder = WalkDecoder(model)
+                logits = decoder.prefill(tokens)
+                next_ids = model._sample_step(logits, temperature,
+                                              model.num_nodes, rng)
             tokens = np.concatenate([tokens, next_ids[:, None]], axis=1)
             if tokens.shape[1] >= length + 1:
                 ticket._finish(tokens[:, 1:])
-                self.stats.completed += 1
+                self.stats.note("completed")
                 continue
             for batch_cache, donor in zip(self._caches, decoder.caches):
                 batch_cache.append_cache(donor)
@@ -318,36 +401,36 @@ class ContinuousBatcher:
         if not self._active:
             return 0
         batch = self.active_walks
-        self.stats.steps += 1
-        self.stats.rows_decoded += batch
-        self.stats.peak_batch = max(self.stats.peak_batch, batch)
+        self.stats.note_step(batch)
 
-        groups: list[tuple[int, int, int]] = []  # (row0, row1, new_length)
-        offset = 0
-        for req in self._active:
-            groups.append((offset, offset + req.n, req.tokens.shape[1]))
-            offset += req.n
-        tokens = np.concatenate(
-            [req.pending_ids for req in self._active])[:, None]
-        logits = self._forward_step(tokens, groups)
+        with trace.span("serve.step", batch=batch,
+                        requests=len(self._active)):
+            groups: list[tuple[int, int, int]] = []  # (row0, row1, new_len)
+            offset = 0
+            for req in self._active:
+                groups.append((offset, offset + req.n, req.tokens.shape[1]))
+                offset += req.n
+            tokens = np.concatenate(
+                [req.pending_ids for req in self._active])[:, None]
+            logits = self._forward_step(tokens, groups)
 
-        model = self._model
-        finished: list[int] = []
-        for i, (req, (row0, row1, _)) in enumerate(zip(self._active,
-                                                       groups)):
-            next_ids = model._sample_step(logits[row0:row1],
-                                          req.temperature, model.num_nodes,
-                                          req.rng)
-            req.tokens = np.concatenate([req.tokens, next_ids[:, None]],
-                                        axis=1)
-            if req.tokens.shape[1] >= req.length + 1:
-                req.ticket._finish(req.tokens[:, 1:])
-                self.stats.completed += 1
-                finished.append(i)
-            else:
-                req.pending_ids = next_ids
-        if finished:
-            self._evict(finished)
+            model = self._model
+            finished: list[int] = []
+            for i, (req, (row0, row1, _)) in enumerate(zip(self._active,
+                                                           groups)):
+                next_ids = model._sample_step(logits[row0:row1],
+                                              req.temperature,
+                                              model.num_nodes, req.rng)
+                req.tokens = np.concatenate([req.tokens, next_ids[:, None]],
+                                            axis=1)
+                if req.tokens.shape[1] >= req.length + 1:
+                    req.ticket._finish(req.tokens[:, 1:])
+                    self.stats.note("completed")
+                    finished.append(i)
+                else:
+                    req.pending_ids = next_ids
+            if finished:
+                self._evict(finished)
         return batch
 
     def _forward_step(self, tokens: np.ndarray,

@@ -60,9 +60,12 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from ..nn import Module, Optimizer, clip_grad_norm
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry
 
 __all__ = ["TrainCallback", "TrainControl", "TrainState", "Trainer",
-           "minibatches", "train_step", "step_rng", "CHECKPOINT_FORMAT"]
+           "MetricsCallback", "minibatches", "train_step", "step_rng",
+           "CHECKPOINT_FORMAT"]
 
 #: bump when the on-disk checkpoint layout changes incompatibly
 CHECKPOINT_FORMAT = "train-ckpt-v1"
@@ -98,7 +101,20 @@ def train_step(optimizer: Optimizer, params, loss_fn,
     if clip_norm is not None:
         clip_grad_norm(params, clip_norm)
     optimizer.step()
+    _steps_counter().inc()
     return loss.item()
+
+
+_STEPS_COUNTER = None
+
+
+def _steps_counter():
+    """Lazy default-registry counter for optimizer steps (hot path)."""
+    global _STEPS_COUNTER
+    if _STEPS_COUNTER is None:
+        _STEPS_COUNTER = get_registry().counter(
+            "train_steps_total", "Optimizer steps taken via train_step")
+    return _STEPS_COUNTER
 
 
 def step_rng(seed: int, epoch: int, step: int = 0) -> np.random.Generator:
@@ -143,6 +159,61 @@ class TrainCallback:
 
     def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
         """After the last epoch (not reached when a hook raises)."""
+
+
+class MetricsCallback(TrainCallback):
+    """Epoch/fit timings and counters into a metrics registry.
+
+    Installed on every :class:`Trainer` by default (pass an explicit
+    instance to direct the series at an injectable registry instead of
+    the process-wide default).  Records, labeled by task class name:
+
+    * ``train_epochs_total`` / ``train_fits_total`` counters,
+    * ``train_epoch_seconds`` / ``train_fit_seconds`` histograms.
+
+    Purely observational: consumes no RNG, mutates no record — fitted
+    artifacts stay byte-identical with or without it.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 task_name: str | None = None):
+        registry = registry if registry is not None else get_registry()
+        self._task = task_name
+        self._epochs = registry.counter(
+            "train_epochs_total", "Completed training epochs")
+        self._fits = registry.counter(
+            "train_fits_total", "Completed Trainer fits")
+        self._epoch_seconds = registry.histogram(
+            "train_epoch_seconds", "Wall-clock seconds per training epoch")
+        self._fit_seconds = registry.histogram(
+            "train_fit_seconds", "Wall-clock seconds per complete fit")
+        self._t_epoch = 0.0
+        self._t_fit = 0.0
+
+    def _task_label(self, trainer: "Trainer") -> str:
+        if self._task is None:
+            self._task = type(trainer.task).__name__
+        return self._task
+
+    def on_fit_start(self, trainer: "Trainer", state: "TrainState") -> None:
+        self._t_fit = time.perf_counter()
+
+    def on_epoch_start(self, trainer: "Trainer",
+                       state: "TrainState") -> None:
+        self._t_epoch = time.perf_counter()
+
+    def on_epoch_end(self, trainer: "Trainer", state: "TrainState",
+                     record) -> None:
+        task = self._task_label(trainer)
+        self._epochs.inc(task=task)
+        self._epoch_seconds.observe(
+            time.perf_counter() - self._t_epoch, task=task)
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        task = self._task_label(trainer)
+        self._fits.inc(task=task)
+        self._fit_seconds.observe(
+            time.perf_counter() - self._t_fit, task=task)
 
 
 @dataclass
@@ -343,6 +414,10 @@ class Trainer:
         self.callbacks: list[TrainCallback] = list(callbacks)
         if control is not None:
             self.callbacks.extend(control.callbacks)
+        # Default telemetry; appended last so epoch timings cover the
+        # other callbacks' epoch-end work (e.g. curriculum phases).
+        if not any(isinstance(cb, MetricsCallback) for cb in self.callbacks):
+            self.callbacks.append(MetricsCallback())
         #: the RNG of the running fit (callbacks may consume it — the
         #: curriculum phase draws its discriminator batches from here)
         self.rng: np.random.Generator | None = None
@@ -365,27 +440,34 @@ class Trainer:
                 if control is not None and control.checkpoint_path is not None
                 else None)
         last_save = time.monotonic()
+        task_name = type(self.task).__name__
         try:
-            for cb in self.callbacks:
-                cb.on_fit_start(self, state)
-            while state.epoch < self.epochs:
+            with trace.span("train.fit", task=task_name,
+                            epochs=self.epochs) as fit_span:
                 for cb in self.callbacks:
-                    cb.on_epoch_start(self, state)
-                record = self.task.epoch(state, rng)
+                    cb.on_fit_start(self, state)
+                while state.epoch < self.epochs:
+                    with trace.span("train.epoch", task=task_name,
+                                    epoch=state.epoch):
+                        for cb in self.callbacks:
+                            cb.on_epoch_start(self, state)
+                        record = self.task.epoch(state, rng)
+                        for cb in self.callbacks:
+                            cb.on_epoch_end(self, state, record)
+                        state.history.append(record)
+                        state.epoch += 1
+                    if path is not None and (
+                            control.min_save_interval <= 0.0
+                            or time.monotonic() - last_save
+                            >= control.min_save_interval):
+                        with trace.span("train.checkpoint", task=task_name):
+                            state.save(path, self.task, rng, tag=control.tag)
+                        last_save = time.monotonic()
+                    for cb in self.callbacks:
+                        cb.on_epoch_commit(self, state)
                 for cb in self.callbacks:
-                    cb.on_epoch_end(self, state, record)
-                state.history.append(record)
-                state.epoch += 1
-                if path is not None and (
-                        control.min_save_interval <= 0.0
-                        or time.monotonic() - last_save
-                        >= control.min_save_interval):
-                    state.save(path, self.task, rng, tag=control.tag)
-                    last_save = time.monotonic()
-                for cb in self.callbacks:
-                    cb.on_epoch_commit(self, state)
-            for cb in self.callbacks:
-                cb.on_fit_end(self, state)
+                    cb.on_fit_end(self, state)
+                fit_span.set(final_epoch=state.epoch)
         finally:
             self.rng = None
         return state
