@@ -175,3 +175,68 @@ def test_serving_smoke_continuous_batching_beats_sequential_decode():
         f"continuous batching ({srv_rate:.0f} walks/s) must beat "
         f"sequential decode ({seq_rate:.0f} walks/s) by >= 1.5x, "
         f"got {speedup:.2f}x")
+
+
+@pytest.mark.smoke
+def test_serving_smoke_lookahead_walks_byte_identical():
+    """Multi-token lookahead must not change a single served token.
+
+    The same 16-client workload runs through an engine ticking one token
+    per step and one decoding ``LOOKAHEAD`` tokens per tick; every walk
+    must be byte-identical across the two engines (and therefore to the
+    standalone ``sample`` twins the 1.5x gate already pins).  Timings
+    for both modes are recorded so the lookahead dispatch saving is
+    tracked, but byte-identity is the gate — lookahead is an engine-tick
+    batching knob, not an approximation.
+    """
+    LOOKAHEAD = 4
+    model = _serving_model()
+    runs: dict[int, tuple[float, list]] = {}
+    for lookahead in (1, LOOKAHEAD):
+        engine = ContinuousBatcher(model, max_walks=256,
+                                   lookahead=lookahead)
+        stop = threading.Event()
+        decoder = threading.Thread(target=engine.run, args=(stop,),
+                                   daemon=True)
+        decoder.start()
+        results: list = [None] * len(REQUESTS)
+
+        def client(i: int, n: int, length: int, seed: int,
+                   temp: float) -> None:
+            results[i] = serve_walks(engine, n, length,
+                                     np.random.default_rng(seed),
+                                     temperature=temp)
+
+        threads = [threading.Thread(target=client, args=(i, *req))
+                   for i, req in enumerate(REQUESTS)]
+        try:
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+        finally:
+            stop.set()
+            decoder.join()
+        runs[lookahead] = (elapsed, results)
+
+    base_s, base_walks = runs[1]
+    look_s, look_walks = runs[LOOKAHEAD]
+    for want, got in zip(base_walks, look_walks):
+        np.testing.assert_array_equal(got, want)
+
+    print(f"\n\nLookahead smoke — {len(REQUESTS)} concurrent requests: "
+          f"lookahead=1 {base_s:.3f}s vs lookahead={LOOKAHEAD} "
+          f"{look_s:.3f}s, all walks byte-identical")
+
+    _record("serving_lookahead_smoke", {
+        "num_nodes": NUM_NODES,
+        "dim": DIM,
+        "num_layers": NUM_LAYERS,
+        "concurrent_requests": len(REQUESTS),
+        "lookahead": LOOKAHEAD,
+        "lookahead_1_seconds": round(base_s, 4),
+        "lookahead_k_seconds": round(look_s, 4),
+        "byte_identical": True,
+    })

@@ -215,6 +215,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resident-model LRU capacity")
     srv.add_argument("--max-walks", type=int, default=256,
                      help="walk rows resident per decode batch")
+    srv.add_argument("--lookahead", type=int, default=1,
+                     help="tokens decoded per engine tick (multi-token "
+                          "decode; served walks stay byte-identical)")
     srv.add_argument("--max-inflight", type=int, default=8,
                      help="target concurrently decoding requests")
     srv.add_argument("--queue-depth", type=int, default=16,
@@ -672,6 +675,7 @@ def _cmd_serve(args) -> int:
     daemon = ServeDaemon(args.cache_dir, host=args.host, port=args.port,
                          max_models=args.max_models,
                          max_walks=args.max_walks,
+                         lookahead=args.lookahead,
                          max_inflight=args.max_inflight,
                          queue_depth=args.queue_depth,
                          request_timeout=args.request_timeout,

@@ -161,8 +161,11 @@ class TransformerWalkModel(Module):
         per sampled position against the per-layer KV caches — O(T)
         attention per step instead of the O(T^2) full-prefix recompute of
         :meth:`sample_reference`, and no autograd bookkeeping at all.
-        RNG consumption is identical to the reference, so seeded outputs
-        match it.
+        Each prefill/step is a single whole-step
+        :meth:`~repro.nn.backend.Backend.decode_step` call into the
+        active backend, running against per-session scratch buffers on
+        fused backends.  RNG consumption is identical to the reference,
+        so seeded outputs match it.
         """
         tokens = self._sampling_prompt(num_walks, length, temperature, starts)
         if tokens.shape[1] >= length + 1:
@@ -205,6 +208,8 @@ class TransformerWalkModel(Module):
         bounds the live KV-cache footprint at ``chunk * layers * T * dim``
         floats, and ``starts_fn(take, rng)`` (when given) pins the start
         node of each chunk's walks — FairGen's protected-coverage hook.
+        Each chunk decodes through :meth:`sample`, i.e. one fused
+        whole-step backend call per token.
         """
         chunks = []
         remaining = num_walks

@@ -16,6 +16,16 @@ This module is the fast inference path that removes both costs:
   one token attending to the cached history — O(T) per step instead of
   O(T^2), and no causal mask is needed in decode.
 
+Each prefill/step is ONE call into the active backend's
+:meth:`~repro.nn.backend.Backend.decode_step` compound primitive — the
+whole embed/blocks/norm/head pipeline per backend dispatch instead of
+~10 small ops per layer — and decode steps run against per-session
+scratch buffers allocated once at the first step (the ``fused`` backend
+reuses them in place; see :func:`repro.nn.backend.scratch_buffer`).
+``WalkDecoder(model, per_op=True)`` keeps the original one-op-at-a-time
+loop as the bit-identity reference the parity suite pins the compound
+kernel against.
+
 Every primitive mirrors the corresponding :class:`~repro.nn.Tensor` op
 exactly (same operation order, same stabilisations), so the logits the
 decoder emits are numerically interchangeable with the training-path
@@ -80,7 +90,9 @@ class _WalkWeights:
 
     Shared by :class:`WalkDecoder` (single-session decode) and the
     continuous-batching engine (:mod:`repro.serve.engine`), which walks
-    the same arrays with per-request attention groups.
+    the same arrays with per-request attention groups.  This is the
+    ``weights`` shape :meth:`repro.nn.backend.Backend.decode_step`
+    duck-types.
     """
 
     __slots__ = ("embed", "positions", "blocks", "final_norm", "head")
@@ -108,21 +120,32 @@ class WalkDecoder:
     The decoder views (never copies) the model's parameter arrays, so it
     is cheap to construct per :meth:`sample` call; it must not outlive a
     training step that updates the parameters in place.
+
+    ``per_op=True`` routes every forward through the original
+    one-backend-call-per-op loop instead of the whole-step
+    :meth:`~repro.nn.backend.Backend.decode_step` compound primitive —
+    the bit-identity reference the kernel parity tests compare against.
     """
 
-    def __init__(self, model) -> None:
-        weights = _WalkWeights(model)
-        self._embed = weights.embed
-        self._positions = weights.positions
-        self._blocks = weights.blocks
-        self._final_norm = weights.final_norm
-        self._head = weights.head
+    def __init__(self, model, *, per_op: bool = False) -> None:
+        self._weights = _WalkWeights(model)
+        self._per_op = per_op
+        # Per-session decode scratch: allocated on the first step() call
+        # (prefill runs at a different sequence length and only once),
+        # then reused in place by every subsequent step.
+        self._scratch: dict | None = None
         # Preallocated at the session maximum: decode steps write into
         # the cache buffers instead of reallocating them every token.
         self._caches = [LayerKVCache(capacity=self._positions.shape[0])
-                        for _ in model.blocks]
+                        for _ in self._weights.blocks]
         self._length = 0
         self._batch: int | None = None
+
+    # Internal views kept as properties so the serving engine and older
+    # call sites can keep addressing the weight tuples uniformly.
+    @property
+    def _positions(self) -> np.ndarray:
+        return self._weights.positions
 
     @property
     def length(self) -> int:
@@ -144,14 +167,36 @@ class WalkDecoder:
     def _forward(self, tokens: np.ndarray,
                  mask: np.ndarray | None) -> np.ndarray:
         """Advance the caches by ``tokens`` and return last-step logits."""
-        batch, length = tokens.shape
+        length = tokens.shape[1]
         if self._length + length > self._positions.shape[0]:
             raise ValueError("decoding past the configured maximum length")
+        if self._per_op:
+            logits = self._forward_per_op(tokens, mask)
+        else:
+            if self._scratch is None and self._length:
+                self._scratch = {}
+            logits = _backend().decode_step(
+                self._weights, self._caches, tokens, self._length,
+                mask=mask, scratch=self._scratch)
+        self._length += length
+        return logits
+
+    def _forward_per_op(self, tokens: np.ndarray,
+                        mask: np.ndarray | None) -> np.ndarray:
+        """The original per-op loop: one backend call per primitive.
+
+        Kept as the bit-identity reference for
+        :meth:`~repro.nn.backend.Backend.decode_step` (the parity suite
+        runs both under every bit-identity backend) and as the
+        benchmark baseline of the whole-step fusion win.
+        """
+        batch, length = tokens.shape
         B = _backend()
-        h = self._embed[tokens] \
-            + self._positions[self._length: self._length + length]
+        w = self._weights
+        h = w.embed[tokens] \
+            + w.positions[self._length: self._length + length]
         scale = None
-        for blk, cache in zip(self._blocks, self._caches):
+        for blk, cache in zip(w.blocks, self._caches):
             x = B.layer_norm(h, *blk.norm1)
             if scale is None:
                 scale = 1.0 / np.sqrt(blk.head_dim)
@@ -174,9 +219,8 @@ class WalkDecoder:
             x2 = B.layer_norm(h, *blk.norm2)
             hidden = B.gelu(B.linear(x2, *blk.ff_in))
             h = h + B.linear(hidden, *blk.ff_out)
-        self._length += length
-        out = B.layer_norm(h[:, -1, :], *self._final_norm)
-        return B.linear(out, *self._head)
+        out = B.layer_norm(h[:, -1, :], *w.final_norm)
+        return B.linear(out, *w.head)
 
     # ------------------------------------------------------------------
     def prefill(self, tokens: np.ndarray) -> np.ndarray:

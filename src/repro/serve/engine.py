@@ -15,9 +15,14 @@ use:
   are transplanted into the shared batch caches
   (:meth:`~repro.nn.attention.LayerKVCache.append_cache`);
 * every engine step advances **all** resident walks by one token in a
-  single fused forward — the dense projections and feed-forward run over
-  the whole coalesced batch, while attention and the vocabulary head run
-  per request group over exact (unpadded) cache slices;
+  single fused forward — ONE :meth:`~repro.nn.backend.Backend.decode_step`
+  call against engine-owned scratch buffers, where the dense projections
+  and feed-forward run over the whole coalesced batch while attention and
+  the vocabulary head run per request group over exact (unpadded) cache
+  slices;
+* with ``lookahead=k`` each engine tick advances resident walks up to
+  ``k`` tokens (``k`` fused forwards back to back) before returning to
+  admission, amortising the per-tick admission/bookkeeping overhead;
 * walks that reach their requested length are swapped out
   (:meth:`~repro.nn.attention.LayerKVCache.gather_rows`) and queued
   requests are admitted in their place, so the batch stays full while
@@ -29,8 +34,10 @@ A served walk is **byte-identical** to the same walk generated
 standalone.  Two properties make that hold by construction:
 
 * every request keeps its own RNG, consumed exactly as
-  ``sample`` consumes it (one ``rng.random((n, 1))`` draw per step, in
-  step order), and a request's walks always advance in lockstep;
+  ``sample`` consumes it (one ``rng.random((n, 1))`` draw per decoded
+  token, in walk order), and a request's walks always advance in
+  lockstep — how the engine partitions those tokens into ticks
+  (``lookahead``) cannot reorder a single request's draws;
 * every array op either is row-wise (embedding, layer norm, GELU,
   residual adds), a stacked per-row matmul (the 3-D ``(B, 1, D) @ (D,
   D')`` projections, which NumPy evaluates as independent per-row
@@ -186,6 +193,10 @@ class EngineStats:
         self._batch_rows = registry.histogram(
             "serve_engine_batch_rows",
             "Decode-batch row occupancy per step", buckets=_BATCH_BUCKETS)
+        self._decode_rows = registry.histogram(
+            "serve_engine_decode_rows_per_call",
+            "Walk rows advanced per fused decode_step call",
+            buckets=_BATCH_BUCKETS)
 
     def note(self, field: str, amount: int = 1) -> None:
         self._counters[field].inc(amount, engine=self.engine)
@@ -195,6 +206,9 @@ class EngineStats:
         self._counters["rows_decoded"].inc(batch, engine=self.engine)
         self._peak.set_max(batch, engine=self.engine)
         self._batch_rows.observe(batch, engine=self.engine)
+
+    def note_decode_call(self, rows: int) -> None:
+        self._decode_rows.observe(rows, engine=self.engine)
 
     def _value(self, field: str) -> int:
         return int(self._counters[field].value(engine=self.engine))
@@ -247,6 +261,15 @@ class ContinuousBatcher:
         fit wait in the admission deque and are swapped in as running
         walks finish; a single request larger than ``max_walks`` is
         rejected at :meth:`submit`.
+    lookahead:
+        Tokens decoded per engine tick (default 1, today's behaviour).
+        Each :meth:`step` admits once, then runs up to ``lookahead``
+        fused decode forwards back to back before the next admission
+        pass — queued requests wait at most ``lookahead`` tokens longer
+        for a slot, in exchange for fewer admission/bookkeeping passes
+        per decoded token.  Served walks are byte-identical for every
+        setting: each request's draws and attention slices depend only
+        on its own state, never on tick partitioning.
 
     Thread model: any number of threads may :meth:`submit`; exactly one
     thread drives :meth:`step` (directly, via :meth:`drain`, or via the
@@ -254,13 +277,20 @@ class ContinuousBatcher:
     """
 
     def __init__(self, model, *, max_walks: int = 256,
+                 lookahead: int = 1,
                  registry: MetricsRegistry | None = None,
                  name: str = "engine") -> None:
         if max_walks < 1:
             raise ValueError("max_walks must be >= 1")
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
         self._model = model
         self._weights = _WalkWeights(model)
         self.max_walks = max_walks
+        self.lookahead = lookahead
+        # Engine-owned decode_step scratch; scratch_buffer() re-sizes
+        # entries in place whenever the resident batch changes shape.
+        self._scratch: dict = {}
         self._pending: deque[tuple] = deque()
         self._active: list[_ActiveRequest] = []
         self._caches: list[LayerKVCache] = [
@@ -390,98 +420,76 @@ class ContinuousBatcher:
     # Decode
     # ------------------------------------------------------------------
     def step(self) -> int:
-        """Admit what fits, then advance every resident walk one token.
+        """Admit what fits, then advance resident walks ``lookahead`` tokens.
 
-        Returns the number of walk rows decoded this step (0 when the
+        Returns the number of walk rows decoded this tick (0 when the
         engine is idle).  Completed requests are fulfilled and evicted
-        before returning, so their batch slots are free for the next
-        admission.
+        after every inner decode forward — not just at tick end — so
+        a request never decodes past its length under lookahead; their
+        batch slots free up for the next tick's admission pass.
         """
         self._admit()
         if not self._active:
             return 0
-        batch = self.active_walks
-        self.stats.note_step(batch)
+        model = self._model
+        total = 0
+        with trace.span("serve.step", batch=self.active_walks,
+                        requests=len(self._active),
+                        lookahead=self.lookahead):
+            for _ in range(self.lookahead):
+                if not self._active:
+                    break
+                batch = self.active_walks
+                self.stats.note_step(batch)
+                total += batch
+                groups: list[tuple[int, int, int]] = []  # (row0,row1,new_len)
+                offset = 0
+                for req in self._active:
+                    groups.append((offset, offset + req.n,
+                                   req.tokens.shape[1]))
+                    offset += req.n
+                tokens = np.concatenate(
+                    [req.pending_ids for req in self._active])[:, None]
+                logits = self._forward_step(tokens, groups)
 
-        with trace.span("serve.step", batch=batch,
-                        requests=len(self._active)):
-            groups: list[tuple[int, int, int]] = []  # (row0, row1, new_len)
-            offset = 0
-            for req in self._active:
-                groups.append((offset, offset + req.n, req.tokens.shape[1]))
-                offset += req.n
-            tokens = np.concatenate(
-                [req.pending_ids for req in self._active])[:, None]
-            logits = self._forward_step(tokens, groups)
-
-            model = self._model
-            finished: list[int] = []
-            for i, (req, (row0, row1, _)) in enumerate(zip(self._active,
-                                                           groups)):
-                next_ids = model._sample_step(logits[row0:row1],
-                                              req.temperature,
-                                              model.num_nodes, req.rng)
-                req.tokens = np.concatenate([req.tokens, next_ids[:, None]],
-                                            axis=1)
-                if req.tokens.shape[1] >= req.length + 1:
-                    req.ticket._finish(req.tokens[:, 1:])
-                    self.stats.note("completed")
-                    finished.append(i)
-                else:
-                    req.pending_ids = next_ids
-            if finished:
-                self._evict(finished)
-        return batch
+                finished: list[int] = []
+                for i, (req, (row0, row1, _)) in enumerate(
+                        zip(self._active, groups)):
+                    next_ids = model._sample_step(logits[row0:row1],
+                                                  req.temperature,
+                                                  model.num_nodes, req.rng)
+                    req.tokens = np.concatenate(
+                        [req.tokens, next_ids[:, None]], axis=1)
+                    if req.tokens.shape[1] >= req.length + 1:
+                        req.ticket._finish(req.tokens[:, 1:])
+                        self.stats.note("completed")
+                        finished.append(i)
+                    else:
+                        req.pending_ids = next_ids
+                if finished:
+                    self._evict(finished)
+        return total
 
     def _forward_step(self, tokens: np.ndarray,
                       groups: list[tuple[int, int, int]]) -> np.ndarray:
-        """One fused decode step over the coalesced ragged batch.
+        """One whole-step fused decode over the coalesced ragged batch.
 
         ``tokens`` is ``(B, 1)``; ``groups`` lists each request's
         contiguous ``(row0, row1, new_length)`` — its rows and the cache
-        length *after* this step's append.  Mirrors
-        :meth:`WalkDecoder._forward` op for op; only the per-row
-        position index and the per-group attention/head slices differ,
-        and both are value-exact per request (see the module docstring).
+        length *after* this step's append.  The entire forward is a
+        single :meth:`~repro.nn.backend.Backend.decode_step` call in
+        ragged mode against the engine's scratch buffers; the per-row
+        position index and the per-group attention/head slices keep
+        every request value-exact (see the module docstring).
         """
-        B = _backend()
-        w = self._weights
-        batch = tokens.shape[0]
-        positions = self._caches[0].row_lengths  # per-row next position
-        h = w.embed[tokens] + w.positions[positions][:, None, :]
-        scale = None
-        for blk, cache in zip(w.blocks, self._caches):
-            x = B.layer_norm(h, *blk.norm1)
-            if scale is None:
-                scale = 1.0 / np.sqrt(blk.head_dim)
-
-            def split(t: np.ndarray) -> np.ndarray:
-                return t.reshape(batch, 1, blk.num_heads,
-                                 blk.head_dim).transpose(0, 2, 1, 3)
-
-            q = split(B.linear(x, *blk.q))
-            k = split(B.linear(x, *blk.k))
-            v = split(B.linear(x, *blk.v))
-            cache.append_ragged(k, v)
-            context = np.empty_like(q)
-            for row0, row1, new_length in groups:
-                k_g, v_g = cache.rows_view(row0, row1, new_length)
-                scores = (q[row0:row1] @ k_g.transpose(0, 1, 3, 2)) * scale
-                context[row0:row1] = B.softmax(scores) @ v_g
-            merged = context.transpose(0, 2, 1, 3).reshape(batch, 1,
-                                                           blk.dim)
-            h = h + B.linear(merged, *blk.out)
-            x2 = B.layer_norm(h, *blk.norm2)
-            hidden = B.gelu(B.linear(x2, *blk.ff_in))
-            h = h + B.linear(hidden, *blk.ff_out)
-        out = B.layer_norm(h[:, -1, :], *w.final_norm)
-        # The head GEMM's shape must match the standalone decode exactly
-        # (BLAS accumulation order is only guaranteed per identical
-        # call), so it runs per request group, never over the batch.
-        logits = np.empty((batch, w.head[0].shape[1]))
-        for row0, row1, _ in groups:
-            logits[row0:row1] = B.linear(out[row0:row1], *w.head)
-        return logits
+        rows = tokens.shape[0]
+        self.stats.note_decode_call(rows)
+        with trace.span("serve.decode_step", rows=rows,
+                        groups=len(groups)):
+            return _backend().decode_step(
+                self._weights, self._caches, tokens,
+                self._caches[0].row_lengths, groups=groups,
+                scratch=self._scratch)
 
     # ------------------------------------------------------------------
     # Driving loops

@@ -1,0 +1,297 @@
+"""Parity and hygiene tests for the whole-step ``decode_step`` kernel.
+
+The compound primitive (``Backend.decode_step``) must reproduce the
+per-op reference byte for byte under every backend held to the
+bit-identity bar, in all three of its modes:
+
+* uniform prefill/decode (the :class:`WalkDecoder` path),
+* ragged single-token serving decode (the batcher steady state),
+* ragged multi-token catch-up (admission at ``lookahead > 1``).
+
+It must also never mutate its inputs — tokens, mask, model parameters —
+even when the fused backend runs the step in caller-owned scratch
+buffers, and the logits it returns must be freshly allocated (never a
+scratch view a later call would clobber).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.walk_lm import TransformerWalkModel
+from repro.nn import (WalkDecoder, active_backend, available_backends,
+                      causal_mask, set_backend)
+from repro.nn.attention import LayerKVCache
+from repro.nn.backend import scratch_buffer
+from repro.nn.inference import _WalkWeights
+from repro.serve.engine import ContinuousBatcher
+
+BIT_IDENTICAL = [name for name in available_backends()
+                 if name in ("numpy", "fused")]
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = active_backend().name
+    yield
+    set_backend(previous)
+
+
+@pytest.fixture(scope="module")
+def model():
+    m = TransformerWalkModel(num_nodes=40, dim=16, num_heads=2,
+                             num_layers=2, max_length=24,
+                             rng=np.random.default_rng(7))
+    m.eval()
+    return m
+
+
+def _fresh_caches(weights, batch_capacity=None):
+    return [LayerKVCache(capacity=weights.positions.shape[0])
+            for _ in weights.blocks]
+
+
+# ----------------------------------------------------------------------
+# Uniform mode: decode_step vs the per-op loop
+# ----------------------------------------------------------------------
+class TestUniformParity:
+    @pytest.mark.parametrize("backend", BIT_IDENTICAL)
+    def test_prefill_and_steps_match_per_op_reference(self, model, backend):
+        set_backend(backend)
+        rng = np.random.default_rng(3)
+        prompt = rng.integers(0, 40, size=(5, 4))
+
+        ref = WalkDecoder(model, per_op=True)
+        fused = WalkDecoder(model)
+        ref_logits = ref.prefill(prompt)
+        fused_logits = fused.prefill(prompt)
+        np.testing.assert_array_equal(fused_logits, ref_logits)
+
+        for _ in range(6):
+            ids = rng.integers(0, 40, size=5)
+            np.testing.assert_array_equal(fused.step(ids), ref.step(ids))
+
+    @pytest.mark.parametrize("backend", BIT_IDENTICAL)
+    def test_sampled_walks_match_reference_oracle(self, model, backend):
+        set_backend(backend)
+        walks = model.sample(6, 10, np.random.default_rng(5))
+        oracle = model.sample_reference(6, 10, np.random.default_rng(5))
+        np.testing.assert_array_equal(walks, oracle)
+
+    def test_backends_agree_with_each_other(self, model):
+        rng = np.random.default_rng(9)
+        prompt = rng.integers(0, 40, size=(3, 2))
+        outs = {}
+        for backend in BIT_IDENTICAL:
+            set_backend(backend)
+            dec = WalkDecoder(model)
+            logits = dec.prefill(prompt)
+            logits = dec.step(np.argmax(logits, axis=1))
+            outs[backend] = logits
+        baseline = outs.pop("numpy")
+        for backend, logits in outs.items():
+            np.testing.assert_array_equal(logits, baseline, err_msg=backend)
+
+
+# ----------------------------------------------------------------------
+# Ragged serving mode
+# ----------------------------------------------------------------------
+class TestRaggedParity:
+    @pytest.mark.parametrize("backend", BIT_IDENTICAL)
+    def test_single_token_groups_match_uniform_per_request(self, model,
+                                                           backend):
+        """A coalesced ragged step equals each request decoded alone."""
+        set_backend(backend)
+        weights = _WalkWeights(model)
+        rng = np.random.default_rng(21)
+
+        # Two requests at different walk lengths, prefilled in isolation.
+        prompts = [rng.integers(0, 40, size=(3, 2)),
+                   rng.integers(0, 40, size=(2, 5))]
+        decoders = []
+        for p in prompts:
+            d = WalkDecoder(model)
+            d.prefill(p)
+            decoders.append(d)
+
+        caches = _fresh_caches(weights)
+        for cache, d0, d1 in zip(caches, decoders[0].caches,
+                                 decoders[1].caches):
+            cache.append_cache(d0)
+            cache.append_cache(d1)
+
+        ids = rng.integers(0, 40, size=5)
+        groups = [(0, 3, 3), (3, 5, 6)]
+        ragged = active_backend().decode_step(
+            weights, caches, ids[:, None], caches[0].row_lengths,
+            groups=groups, scratch={})
+        solo = np.concatenate([decoders[0].step(ids[:3]),
+                               decoders[1].step(ids[3:])])
+        np.testing.assert_array_equal(ragged, solo)
+
+    @pytest.mark.parametrize("backend", BIT_IDENTICAL)
+    def test_multi_token_catch_up_matches_prefill(self, model, backend):
+        """L>1 ragged decode over fresh rows == a uniform prefill."""
+        set_backend(backend)
+        weights = _WalkWeights(model)
+        rng = np.random.default_rng(33)
+        prompt = rng.integers(0, 40, size=(4, 3))
+
+        ref = WalkDecoder(model, per_op=True)
+        expected = ref.prefill(prompt)
+
+        caches = _fresh_caches(weights)
+        T = prompt.shape[1]
+        got = active_backend().decode_step(
+            weights, caches, prompt, np.zeros(4, dtype=np.int64),
+            mask=causal_mask(T), groups=[(0, 4, T)], scratch={})
+        np.testing.assert_array_equal(got, expected)
+        for cache, ref_cache in zip(caches, ref.caches):
+            np.testing.assert_array_equal(cache.row_lengths,
+                                          np.full(4, T))
+            k_got, v_got = cache.rows_view(0, 4, T)
+            k_ref, v_ref = ref_cache.rows_view(0, 4, T)
+            np.testing.assert_array_equal(k_got, k_ref)
+            np.testing.assert_array_equal(v_got, v_ref)
+
+
+# ----------------------------------------------------------------------
+# Engine lookahead byte-identity
+# ----------------------------------------------------------------------
+class TestLookahead:
+    def _model(self):
+        m = TransformerWalkModel(num_nodes=12, dim=16, num_heads=2,
+                                 num_layers=2, max_length=20,
+                                 rng=np.random.default_rng(3))
+        m.eval()
+        return m
+
+    def test_lookahead_must_be_positive(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            ContinuousBatcher(self._model(), lookahead=0)
+
+    @pytest.mark.parametrize("lookahead", [2, 4])
+    def test_served_walks_byte_identical_across_lookahead(self, lookahead):
+        m = self._model()
+        results = {}
+        for k in (1, lookahead):
+            engine = ContinuousBatcher(m, max_walks=16, lookahead=k)
+            tickets = [engine.submit(3, 8, np.random.default_rng(100 + i))
+                       for i in range(3)]
+            engine.drain()
+            results[k] = [t.result(timeout=0) for t in tickets]
+        for a, b in zip(results[1], results[lookahead]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_mid_stream_admission_at_lookahead_gt_1(self):
+        """A request admitted mid-stream (different walk lengths resident)
+        still decodes byte-identically to standalone ``sample``."""
+        m = self._model()
+        engine = ContinuousBatcher(m, max_walks=4, lookahead=3)
+        # First request fills the batch; the second (submitted before any
+        # stepping, but too big to co-reside) is admitted mid-stream once
+        # the first finishes — at a different batch clock.
+        t1 = engine.submit(3, 6, np.random.default_rng(1))
+        t2 = engine.submit(3, 12, np.random.default_rng(2))
+        t3 = engine.submit(1, 9, np.random.default_rng(3))
+        engine.drain()
+        np.testing.assert_array_equal(
+            t1.result(timeout=0), m.sample(3, 6, np.random.default_rng(1)))
+        np.testing.assert_array_equal(
+            t2.result(timeout=0), m.sample(3, 12, np.random.default_rng(2)))
+        np.testing.assert_array_equal(
+            t3.result(timeout=0), m.sample(1, 9, np.random.default_rng(3)))
+
+    def test_lookahead_decodes_multiple_tokens_per_tick(self):
+        m = self._model()
+        engine = ContinuousBatcher(m, max_walks=8, lookahead=4)
+        ticket = engine.submit(2, 9, np.random.default_rng(4))
+        rows = engine.step()
+        # prefill consumed one token; the single tick advanced up to 4 of
+        # the remaining 8, two rows each.
+        assert rows == 8
+        assert not ticket.done
+        engine.drain()
+        assert ticket.result(timeout=0).shape == (2, 9)
+
+    def test_decode_rows_histogram_visible_in_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        m = self._model()
+        engine = ContinuousBatcher(m, max_walks=8, lookahead=2,
+                                   registry=registry, name="eng0")
+        engine.submit(2, 6, np.random.default_rng(8))
+        engine.drain()
+        text = registry.render_prometheus()
+        assert "serve_engine_decode_rows_per_call" in text
+
+
+# ----------------------------------------------------------------------
+# Input hygiene
+# ----------------------------------------------------------------------
+class TestNoInputMutation:
+    @pytest.mark.parametrize("backend", BIT_IDENTICAL)
+    def test_decode_step_does_not_mutate_inputs(self, model, backend):
+        set_backend(backend)
+        weights = _WalkWeights(model)
+        rng = np.random.default_rng(13)
+        tokens = rng.integers(0, 40, size=(3, 4))
+        tokens_copy = tokens.copy()
+        mask = causal_mask(4)
+        mask_copy = mask.copy()
+        param_copies = [(blk.q[0].copy(), blk.ff_in[0].copy())
+                        for blk in weights.blocks]
+        embed_copy = weights.embed.copy()
+
+        caches = _fresh_caches(weights)
+        scratch = {}
+        active_backend().decode_step(weights, caches, tokens, 0,
+                                     mask=mask, scratch=scratch)
+
+        np.testing.assert_array_equal(tokens, tokens_copy)
+        np.testing.assert_array_equal(mask, mask_copy)
+        np.testing.assert_array_equal(weights.embed, embed_copy)
+        for blk, (q_w, ff_w) in zip(weights.blocks, param_copies):
+            np.testing.assert_array_equal(blk.q[0], q_w)
+            np.testing.assert_array_equal(blk.ff_in[0], ff_w)
+
+    @pytest.mark.parametrize("backend", BIT_IDENTICAL)
+    def test_returned_logits_survive_scratch_reuse(self, model, backend):
+        """Logits must be fresh allocations, not views of scratch."""
+        set_backend(backend)
+        weights = _WalkWeights(model)
+        rng = np.random.default_rng(17)
+        caches = _fresh_caches(weights)
+        scratch = {}
+        backend_obj = active_backend()
+        prompt = rng.integers(0, 40, size=(2, 3))
+        first = backend_obj.decode_step(weights, caches, prompt, 0,
+                                        mask=causal_mask(3),
+                                        scratch=scratch)
+        held = first.copy()
+        backend_obj.decode_step(weights, caches,
+                                rng.integers(0, 40, size=(2, 1)), 3,
+                                scratch=scratch)
+        np.testing.assert_array_equal(first, held)
+
+
+class TestScratchBuffer:
+    def test_none_scratch_allocates_fresh(self):
+        a = scratch_buffer(None, "x", (2, 3))
+        b = scratch_buffer(None, "x", (2, 3))
+        assert a is not b
+
+    def test_dict_scratch_reuses_matching_shape(self):
+        scratch = {}
+        a = scratch_buffer(scratch, "x", (2, 3))
+        b = scratch_buffer(scratch, "x", (2, 3))
+        assert a is b
+
+    def test_dict_scratch_reallocates_on_shape_change(self):
+        scratch = {}
+        a = scratch_buffer(scratch, "x", (2, 3))
+        b = scratch_buffer(scratch, "x", (4, 3))
+        assert a is not b
+        assert b.shape == (4, 3)
+        assert scratch_buffer(scratch, "x", (4, 3)) is b
